@@ -1,0 +1,93 @@
+"""Ablation — memory-hierarchy sensitivity of the characterization.
+
+Three sweeps over the cache model quantify the paper's implicit
+mechanisms:
+
+* **Working set** (key observation 3): warm-cache sampling misses are
+  ~zero while the replay fits the LLC and grow with occupancy beyond it
+  — why "cache misses become particularly relevant in large-scale
+  multi-agent models".
+* **LLC capacity**: the same effect from the hardware side.
+* **Prefetcher degree**: cache-aware sampling's advantage needs only a
+  modest stride prefetcher; degree 1 already converts most sequential
+  misses into prefetch hits.
+"""
+
+from __future__ import annotations
+
+from conftest import print_exhibit
+from repro.memsim import (
+    cache_capacity_sweep,
+    prefetcher_degree_sweep,
+    working_set_sweep,
+)
+
+OBS = [16] * 3
+ACT = [5] * 3
+BATCH = 512
+
+
+def bench_memsim_working_set(benchmark):
+    points = []
+
+    def run():
+        points.extend(
+            working_set_sweep(OBS, ACT, occupancies=(2_000, 8_000, 32_000), batch=BATCH)
+        )
+        return points
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_exhibit(
+        "Sensitivity — warm-cache sampling misses vs replay occupancy (8 MiB LLC)",
+        [p.render("rows") for p in points],
+        paper_note="misses indicate working-set size (key observation 3)",
+    )
+    misses = [p.cache_misses for p in points]
+    assert misses == sorted(misses), f"misses should grow with occupancy: {misses}"
+    assert misses[0] < misses[-1] / 10, "LLC-resident replay should barely miss"
+
+
+def bench_memsim_llc_capacity(benchmark):
+    points = []
+
+    def run():
+        points.extend(
+            cache_capacity_sweep(
+                OBS, ACT, capacity=20_000, batch=BATCH, l3_sizes_mib=(2, 8, 32)
+            )
+        )
+        return points
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_exhibit(
+        "Sensitivity — warm-cache sampling misses vs LLC capacity (20k-row replay)",
+        [p.render("L3MiB") for p in points],
+    )
+    misses = [p.cache_misses for p in points]
+    assert misses == sorted(misses, reverse=True), (
+        f"bigger LLC should miss less: {misses}"
+    )
+
+
+def bench_memsim_prefetch_degree(benchmark):
+    points = []
+
+    def run():
+        points.extend(
+            prefetcher_degree_sweep(
+                OBS, ACT, capacity=50_000, batch=BATCH, neighbors=64,
+                degrees=(1, 2, 4, 8),
+            )
+        )
+        return points
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_exhibit(
+        "Sensitivity — cache-aware sampling vs prefetcher degree (n=64 runs)",
+        [p.render("degree") for p in points],
+        paper_note="the optimization's win needs only a modest stride prefetcher",
+    )
+    assert all(p.prefetch_hits > 0 for p in points), "prefetcher never engaged"
+    # degree sensitivity is mild: 8x degree changes misses by < 3x
+    misses = [max(p.cache_misses, 1) for p in points]
+    assert max(misses) / min(misses) < 3.0, f"unexpectedly degree-sensitive: {misses}"

@@ -1,0 +1,77 @@
+"""Ablation — the locality/randomness trade-off across (n, ref) settings.
+
+The paper picks two points on this curve: (n=16, ref=64) "to
+sufficiently preserve the randomness property of sampling" and (n=64,
+ref=16) "to optimize spatial locality".  This ablation sweeps the whole
+curve at fixed batch size, measuring both axes:
+
+* **speed** — sampling-phase seconds per round;
+* **diversity** — expected fraction of distinct *episode segments*
+  (reference draws) represented in the batch, the quantity uniform
+  sampling maximizes and Figure 10's CN-12 degradation traces back to.
+
+Asserted shape: speed improves monotonically with n while diversity
+falls — the paper's two settings are interior points of a real
+trade-off, not free wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_BATCH, make_filled_replay, print_exhibit
+from repro.core import CacheAwareSampler, UniformSampler
+from repro.experiments import time_sampler_round
+
+N_AGENTS = 6
+NEIGHBOR_SETTINGS = (1, 4, 16, 64, 256)
+
+
+def bench_ablation_neighbor_tradeoff(benchmark):
+    results = {}
+
+    def run_all():
+        replay = make_filled_replay("predator_prey", N_AGENTS, seed=4)
+        rng = np.random.default_rng(0)
+        base = time_sampler_round(UniformSampler(), replay, rng, BENCH_BATCH, rounds=2)
+        results["uniform"] = (base.seconds, BENCH_BATCH)
+        for n in NEIGHBOR_SETTINGS:
+            if n == 1:
+                # n=1 is uniform sampling expressed as runs (sanity point)
+                sampler = CacheAwareSampler(1, BENCH_BATCH)
+            else:
+                sampler = CacheAwareSampler(n, BENCH_BATCH // n)
+            t = time_sampler_round(sampler, replay, rng, BENCH_BATCH, rounds=2)
+            batch = sampler.sample(replay, rng, BENCH_BATCH)
+            results[n] = (t.seconds, len(batch.runs))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    base_s = results["uniform"][0]
+    for key, (seconds, refs) in results.items():
+        label = "uniform" if key == "uniform" else f"n={key:<4} r={BENCH_BATCH // key if key != 'uniform' else '-'}"
+        diversity = refs / BENCH_BATCH
+        lines.append(
+            f"{label:<16} {seconds * 1e3:9.2f}ms  speedup {base_s / seconds:5.2f}x  "
+            f"independent draws/batch {refs:>4} (diversity {diversity:.3f})"
+        )
+    lines.append(
+        "paper's points: n=16 (diversity 0.0625) and n=64 (diversity 0.0156) at batch 1024"
+    )
+    print_exhibit(
+        "Ablation — neighbors vs randomness at fixed batch size",
+        lines,
+        paper_note="larger runs are faster but each batch sees fewer "
+        "independent reference draws (Fig. 10's bias risk)",
+    )
+
+    times = [results[n][0] for n in NEIGHBOR_SETTINGS]
+    for a, b in zip(times, times[1:]):
+        assert b < a * 1.15, f"speed should improve (or hold) with n: {times}"
+    assert times[-1] < times[0] / 3, "the locality end should be much faster"
+    diversities = [results[n][1] for n in NEIGHBOR_SETTINGS]
+    assert diversities == sorted(diversities, reverse=True), (
+        "diversity must fall as neighbors grow"
+    )

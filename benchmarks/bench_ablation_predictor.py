@@ -1,0 +1,74 @@
+"""Ablation — neighbor-predictor thresholds and counts (§VI-C1 knobs).
+
+The paper fixes T1 = 0.33, T2 = 0.66 and (N1, N2, N3) = (1, 2, 4).
+This ablation sweeps alternative predictor configurations and reports:
+
+* sampling-phase time (more neighbors per reference = fewer sum-tree
+  descents = faster);
+* effective reference count per batch (a proxy for sampling-
+  distribution fidelity — more references = closer to pure PER).
+
+Asserted shape: neighbor-heavier predictors sample faster but draw
+fewer references; the paper's setting sits between pure PER (all-1
+neighbors) and an aggressive all-8 predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_BATCH, make_filled_replay, print_exhibit
+from repro.core import InformationPrioritizedSampler, ThresholdNeighborPredictor
+from repro.experiments import time_sampler_round
+
+CONFIGS = {
+    "per-like (all 1)": ThresholdNeighborPredictor((0.5,), (1, 1)),
+    "paper (1/2/4 @ .33/.66)": ThresholdNeighborPredictor(),
+    "aggressive (4/8 @ .5)": ThresholdNeighborPredictor((0.5,), (4, 8)),
+}
+
+N_AGENTS = 6
+
+
+def bench_ablation_predictor(benchmark):
+    results = {}
+
+    def run_all():
+        replay = make_filled_replay(
+            "predator_prey", N_AGENTS, seed=1, prioritized=True
+        )
+        rng = np.random.default_rng(0)
+        for agent_idx in range(N_AGENTS):
+            replay.priority_buffer(agent_idx).update_priorities(
+                range(len(replay)), rng.uniform(0.01, 5.0, len(replay))
+            )
+        for label, predictor in CONFIGS.items():
+            sampler = InformationPrioritizedSampler(predictor=predictor)
+            timing = time_sampler_round(sampler, replay, rng, BENCH_BATCH, rounds=2)
+            batch = sampler.sample(replay, rng, BENCH_BATCH)
+            results[label] = (timing.seconds, len(batch.runs))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    for label, (seconds, refs) in results.items():
+        lines.append(
+            f"{label:<26} sampling {seconds * 1e3:8.2f}ms  "
+            f"references/batch {refs:>4}"
+        )
+    print_exhibit(
+        "Ablation — neighbor-predictor configurations (IP sampling, PP-6)",
+        lines,
+        paper_note="T1=0.33/T2=0.66 with 1/2/4 neighbors balances speed vs "
+        "sampling-distribution fidelity",
+    )
+
+    per_like_s, per_like_refs = results["per-like (all 1)"]
+    paper_s, paper_refs = results["paper (1/2/4 @ .33/.66)"]
+    aggressive_s, aggressive_refs = results["aggressive (4/8 @ .5)"]
+    assert paper_s < per_like_s, "paper predictor should out-sample pure PER"
+    assert aggressive_s < paper_s * 1.2, "aggressive predictor should be fast"
+    assert aggressive_refs < paper_refs < per_like_refs, (
+        "reference counts should fall as neighbor counts rise"
+    )

@@ -1,0 +1,84 @@
+"""Extension — vectorized environment collection (WarpDrive-inspired).
+
+The paper's related work [42] (WarpDrive) scales MARL by running
+thousands of environment copies so network passes batch across them.
+This bench quantifies the single-process analogue: action selection
+over K copies as one batched forward per agent versus K sequential
+forwards.
+
+Asserted: the batched path's action-selection time is sub-linear in K
+(the per-call numpy overhead amortizes), with the amortization factor
+growing with the copy count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from conftest import print_exhibit
+from repro.envs import SyncVectorEnv, make
+from repro.training import collect_steps
+
+COPY_COUNTS = (1, 4, 8)
+STEPS = 25
+
+
+def _measure(copies: int) -> dict:
+    config = repro.MARLConfig(batch_size=64, buffer_capacity=16_384, update_every=10**9)
+    vec = SyncVectorEnv(
+        [(lambda s=s: make("cooperative_navigation", num_agents=3, seed=s)) for s in range(copies)]
+    )
+    trainer = repro.make_trainer(
+        "maddpg", "baseline", vec.obs_dims, vec.act_dims, config=config, seed=0
+    )
+    start = time.perf_counter()
+    stats = collect_steps(vec, trainer, steps=STEPS, learn=True)
+    wall = time.perf_counter() - start
+    return {
+        "wall": wall,
+        "action_selection": trainer.timer.total("action_selection"),
+        "transitions": stats["transitions"],
+    }
+
+
+def bench_ext_vectorized_env(benchmark):
+    results = {}
+
+    def run_all():
+        for copies in COPY_COUNTS:
+            results[copies] = _measure(copies)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base = results[1]
+    lines = []
+    for copies, r in results.items():
+        per_transition = r["action_selection"] / r["transitions"]
+        base_per = base["action_selection"] / base["transitions"]
+        lines.append(
+            f"copies={copies:<3} transitions {int(r['transitions']):>4}  "
+            f"action-selection {r['action_selection'] * 1e3:8.2f}ms "
+            f"({per_transition * 1e6:7.1f}us/transition, "
+            f"{base_per / per_transition:4.1f}x amortized)"
+        )
+    print_exhibit(
+        "Extension — batched action selection over environment copies",
+        lines,
+        paper_note="WarpDrive [42]: batching network passes across env "
+        "copies amortizes per-call overhead",
+    )
+
+    per_transition = {
+        copies: r["action_selection"] / r["transitions"]
+        for copies, r in results.items()
+    }
+    assert per_transition[4] < per_transition[1], "4 copies should amortize"
+    assert per_transition[8] <= per_transition[4] * 1.2, (
+        "amortization should hold or improve at 8 copies"
+    )
+    # total action-selection time grows sub-linearly in K
+    assert results[8]["action_selection"] < 6 * results[1]["action_selection"]

@@ -1,0 +1,132 @@
+"""Figure 11 + §VI-C1 — information-prioritized vs PER-MADDPG.
+
+Two claims:
+
+1. (Figure 11) IP-MADDPG's reward curves track the PER-MADDPG
+   baseline's — the IS weights + TD-priority write-back preserve the
+   learning distribution despite locality-biased sampling.
+2. (§VI-C1) IP sampling is ~2x faster than PER sampling on average
+   across 3/6/12 agents, because each sum-tree descent amortizes over
+   the predictor's neighbor run instead of paying one descent per row.
+
+The bench measures both: learning equivalence on laptop-scale training
+runs, and the sampling-phase speedup on pre-filled prioritized replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_BATCH, make_filled_replay, print_exhibit
+from repro.algos import MARLConfig
+from repro.core import InformationPrioritizedSampler, PrioritizedSampler
+from repro.experiments import WorkloadSpec, run_workload, time_sampler_round
+from repro.training import compare_curves
+
+AGENT_COUNTS = (3, 6, 12)
+EPISODES = 30
+CONFIG = MARLConfig(batch_size=64, buffer_capacity=4096, update_every=25)
+
+
+def bench_fig11_learning_equivalence(benchmark):
+    """IP-MADDPG reward curves track PER-MADDPG (Figure 11)."""
+    results = {}
+
+    def run_all():
+        for env_name in ("predator_prey", "cooperative_navigation"):
+            for variant in ("per", "info_prioritized"):
+                spec = WorkloadSpec(
+                    algorithm="maddpg",
+                    env_name=env_name,
+                    num_agents=3,
+                    variant=variant,
+                    episodes=EPISODES,
+                    seed=42,
+                    config=CONFIG,
+                )
+                results[(env_name, variant)] = run_workload(spec)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    for env_name in ("predator_prey", "cooperative_navigation"):
+        base = results[(env_name, "per")]
+        opt = results[(env_name, "info_prioritized")]
+        cmp = compare_curves(base, opt, window=10)
+        lines.append(
+            f"{env_name} N=3: PER final {base.reward_curve(10)[-1]:.2f}  "
+            f"IP final {opt.reward_curve(10)[-1]:.2f}  "
+            f"final-gap {cmp.final_gap_relative:.2f}  area-gap {cmp.area_gap_relative:.2f}"
+        )
+        assert cmp.equivalent(tolerance=0.8), (
+            f"{env_name}: IP diverged from PER "
+            f"(final {cmp.final_gap_relative:.2f}, area {cmp.area_gap_relative:.2f})"
+        )
+    print_exhibit(
+        "Figure 11 — IP-MADDPG vs PER-MADDPG learning curves",
+        lines,
+        paper_note="red (IP) tracks blue (PER) over 60k episodes",
+    )
+
+
+def bench_fig11_sampling_speedup(benchmark):
+    """§VI-C1: IP sampling ~2x faster than PER sampling (3/6/12 agents)."""
+    timings = {}
+
+    def run_all():
+        # speedup grows with tree depth; the paper's buffers hold 1M rows,
+        # so use the deepest occupancy the bench budget allows
+        for n in AGENT_COUNTS:
+            replay = make_filled_replay(
+                "predator_prey", n, seed=n, prioritized=True,
+                rows=16_384, capacity=16_384,
+            )
+            # realistic spread of priorities (fresh buffers are uniform-max)
+            rng = np.random.default_rng(0)
+            for agent_idx in range(n):
+                pbuf = replay.priority_buffer(agent_idx)
+                pbuf.update_priorities(
+                    range(len(replay)), rng.uniform(0.01, 5.0, len(replay))
+                )
+            per = min(
+                time_sampler_round(
+                    PrioritizedSampler(), replay, rng, BENCH_BATCH, rounds=2
+                ).seconds
+                for _ in range(2)
+            )
+            ip = min(
+                time_sampler_round(
+                    InformationPrioritizedSampler(), replay, rng, BENCH_BATCH, rounds=2
+                ).seconds
+                for _ in range(2)
+            )
+            timings[n] = (per, ip)
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    speedups = []
+    for n, (per_s, ip_s) in timings.items():
+        speedup = per_s / ip_s
+        speedups.append(speedup)
+        lines.append(
+            f"N={n:<3} PER {per_s * 1e3:8.2f}ms  IP {ip_s * 1e3:8.2f}ms  "
+            f"speedup {speedup:.2f}x"
+        )
+    mean_speedup = float(np.mean(speedups))
+    lines.append(f"average speedup: {mean_speedup:.2f}x  [paper: ~2x]")
+    print_exhibit(
+        "§VI-C1 — IP vs PER sampling-phase speedup",
+        lines,
+        paper_note="2x average sampling speedup over 3/6/12 agents",
+    )
+
+    assert all(s > 1.0 for s in speedups), f"IP slower than PER somewhere: {speedups}"
+    assert mean_speedup > 1.3, f"mean speedup {mean_speedup:.2f}x below the paper band"
+    # the paper's 2x is the deep-buffer regime: larger N should at least
+    # match N=3 (strict growth is within wall-clock noise at this scale)
+    assert max(speedups[1:]) > speedups[0] * 0.9, (
+        f"speedup should hold or grow beyond N=3: {speedups}"
+    )

@@ -1,0 +1,78 @@
+"""Figure 2 — end-to-end training-time breakdown vs agent count.
+
+The paper splits total time into action selection / update all trainers
+/ other segments, with update-all-trainers growing from ~36% (3 agents)
+to ~76-80% (24 agents).  The bench trains short runs at each N and
+prints the measured split.  Asserted shape: the update-all-trainers
+share grows monotonically with N and dominates at the larger scales.
+
+Substrate note: absolute shares differ from the paper's because this
+reproduction steps the environment and the networks on the same CPU
+(the paper's action selection and updates ran on an RTX 3090, shrinking
+everything except sampling).  The growth *direction* — the paper's
+headline — is preserved and asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import scaled_config, print_exhibit
+from repro.experiments import WorkloadSpec, build_workload, fill_replay
+from repro.profiling.breakdown import end_to_end_breakdown
+from repro.profiling.timers import PhaseTimer
+from repro.training import train
+
+#: paper Fig. 2 update-all-trainers % for MADDPG predator-prey
+PAPER_UPDATE_SHARE_PP = {3: 36.0, 6: 50.0, 12: 62.0, 24: 76.0}
+
+AGENT_COUNTS = (3, 6, 12)
+EPISODES = 3
+
+
+def bench_fig2_breakdown(benchmark):
+    """Measure Figure 2's per-N phase split for MADDPG predator-prey."""
+    measurements = {}
+
+    def run_all():
+        for n in AGENT_COUNTS:
+            config = scaled_config(update_every=25)
+            spec = WorkloadSpec(
+                algorithm="maddpg",
+                env_name="predator_prey",
+                num_agents=n,
+                variant="baseline",
+                episodes=EPISODES,
+                config=config,
+            )
+            env, trainer = build_workload(spec)
+            fill_replay(trainer.replay, np.random.default_rng(1), config.batch_size)
+            measurements[n] = train(env, trainer, episodes=EPISODES)
+        return measurements
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    update_shares = {}
+    for n, result in measurements.items():
+        timer = PhaseTimer()
+        for key, value in result.phase_totals.items():
+            timer.add(key, value)
+        split = end_to_end_breakdown(timer, result.total_seconds)
+        update_shares[n] = split.update_all_trainers_pct
+        lines.append(
+            f"N={n:<3} {split.render()} "
+            f"[paper update share: {PAPER_UPDATE_SHARE_PP[n]:.0f}%]"
+        )
+    print_exhibit(
+        "Figure 2 — end-to-end breakdown (MADDPG predator-prey)",
+        lines,
+        paper_note="update-all-trainers share grows 36% -> 76% from 3 to 24 agents",
+    )
+
+    shares = [update_shares[n] for n in AGENT_COUNTS]
+    # monotone growth with a small noise allowance (single-core wall clock)
+    for lo, hi in zip(shares, shares[1:]):
+        assert hi >= lo - 3.0, f"update share must not shrink with N: {shares}"
+    assert shares[-1] >= shares[0], f"update share must grow 3 -> 12: {shares}"
+    assert shares[-1] > 50.0, f"update share should dominate at N=12: {shares[-1]:.1f}%"

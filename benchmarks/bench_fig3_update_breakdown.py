@@ -1,0 +1,83 @@
+"""Figure 3 — breakdown within *update all trainers* vs agent count.
+
+The paper's split: mini-batch sampling ~50-65% (largest, growing with
+N), target-Q calculation ~20-28%, Q loss + P loss shrinking.  The bench
+forces update rounds on pre-filled replays at each N and prints both
+the raw CPU-substrate split and the GPU-projected split (the paper's
+network phases ran on an RTX 3090; the projection rescales them by the
+platform model's GPU/CPU ratio — see DESIGN.md substitutions).
+
+Asserted shape (GPU-projected view): sampling is the largest sub-phase
+at every N and its share grows from 3 to 12 agents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import BENCH_CAPACITY, scaled_config, print_exhibit
+from repro.experiments import fill_replay
+from repro.profiling.breakdown import gpu_compute_scale, update_breakdown
+
+#: paper Fig. 3(a) sampling % within update-all-trainers, MADDPG PP
+PAPER_SAMPLING_SHARE_PP = {3: 50.0, 6: 64.0, 12: 65.0, 24: 65.0}
+
+AGENT_COUNTS = (3, 6, 12)
+ROUNDS = 3
+
+
+def _measure(n: int):
+    # the paper's batch size: the sampling/compute balance depends on it
+    config = scaled_config(batch_size=1024, buffer_capacity=BENCH_CAPACITY)
+    env = repro.make_env("predator_prey", num_agents=n, seed=0)
+    trainer = repro.make_trainer(
+        "maddpg", "baseline", env.obs_dims, env.act_dims, config=config, seed=0
+    )
+    fill_replay(trainer.replay, np.random.default_rng(1), 2048)
+    for _ in range(ROUNDS):
+        trainer.update(force=True)
+    scale = gpu_compute_scale(env.obs_dims, env.act_dims, config.batch_size)
+    return (
+        update_breakdown(trainer.timer),
+        update_breakdown(trainer.timer, compute_scale=scale),
+    )
+
+
+def bench_fig3_update_breakdown(benchmark):
+    measurements = {}
+
+    def run_all():
+        for n in AGENT_COUNTS:
+            measurements[n] = _measure(n)
+        return measurements
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    sampling_shares = {}
+    for n, (raw, projected) in measurements.items():
+        sampling_shares[n] = projected.sampling_pct
+        lines.append(f"N={n:<3} raw:           {raw.render()}")
+        lines.append(
+            f"      gpu-projected: {projected.render()} "
+            f"[paper sampling share: {PAPER_SAMPLING_SHARE_PP[n]:.0f}%]"
+        )
+    print_exhibit(
+        "Figure 3 — update-all-trainers breakdown (MADDPG predator-prey)",
+        lines,
+        paper_note="sampling is the largest sub-phase, 50% -> 65% from 3 to 24 agents",
+    )
+
+    for n, (raw, projected) in measurements.items():
+        assert projected.sampling_pct > projected.target_q_pct, (
+            f"N={n}: sampling should beat target-Q "
+            f"({projected.sampling_pct:.1f}% vs {projected.target_q_pct:.1f}%)"
+        )
+        assert projected.sampling_pct > projected.loss_pct, (
+            f"N={n}: sampling should beat loss updates "
+            f"({projected.sampling_pct:.1f}% vs {projected.loss_pct:.1f}%)"
+        )
+    assert sampling_shares[12] > sampling_shares[3], (
+        f"sampling share should grow with N: {sampling_shares}"
+    )

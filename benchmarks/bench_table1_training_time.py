@@ -1,0 +1,128 @@
+"""Table I — end-to-end training times for MADDPG/MATD3 x PP/CN x N.
+
+The paper trains 60,000 episodes (hours to days); the bench measures a
+handful of episodes at proportional geometry and extrapolates the
+steady-state per-episode rate to 60k.  The asserted shape: training
+time grows super-linearly in the number of agents, and predator-prey
+costs more than cooperative navigation at equal N (paper: ~1.4-1.6x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled_config, print_exhibit
+from repro.experiments import PAPER_EPISODES, WorkloadSpec, run_workload, table1_rows
+
+#: paper Table I seconds for 60k episodes (for side-by-side printing)
+PAPER_TABLE1 = {
+    ("maddpg", "predator_prey", 3): 3365.99,
+    ("maddpg", "predator_prey", 6): 8504.99,
+    ("maddpg", "predator_prey", 12): 23406.16,
+    ("maddpg", "cooperative_navigation", 3): 2403.64,
+    ("maddpg", "cooperative_navigation", 6): 5888.64,
+    ("maddpg", "cooperative_navigation", 12): 15722.43,
+    ("matd3", "predator_prey", 3): 3838.97,
+    ("matd3", "predator_prey", 6): 9039.11,
+    ("matd3", "cooperative_navigation", 3): 2785.53,
+    ("matd3", "cooperative_navigation", 6): 6369.42,
+}
+
+EPISODES = 4
+
+
+def _run_cell(algorithm: str, env_name: str, num_agents: int):
+    import numpy as np
+
+    from repro.experiments import build_workload, fill_replay
+    from repro.training import train
+
+    spec = WorkloadSpec(
+        algorithm=algorithm,
+        env_name=env_name,
+        num_agents=num_agents,
+        variant="baseline",
+        episodes=EPISODES,
+        seed=0,
+        config=scaled_config(update_every=25),
+    )
+    env, trainer = build_workload(spec)
+    # pre-fill past one mini-batch so the measured episodes include the
+    # paper's update cadence (updates every 25 steps = once per episode)
+    fill_replay(trainer.replay, np.random.default_rng(1), spec.config.batch_size)
+    result = train(env, trainer, episodes=EPISODES, variant="baseline", env_name=env_name)
+    assert result.update_rounds > 0, "bench cell never updated; cadence misconfigured"
+    return result
+
+
+@pytest.mark.parametrize("algorithm", ["maddpg", "matd3"])
+def bench_table1(benchmark, algorithm):
+    """Measure the evaluation matrix for one algorithm and print Table I."""
+    results = {}
+
+    def run_matrix():
+        for env_name in ("predator_prey", "cooperative_navigation"):
+            for n in (3, 6):
+                results[(env_name, n)] = _run_cell(algorithm, env_name, n)
+        return results
+
+    benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = table1_rows(list(results.values()))
+    lines = []
+    for row in rows:
+        paper = PAPER_TABLE1.get((algorithm, row.env_name, row.num_agents))
+        suffix = f"   [paper 60k: {paper:.0f}s]" if paper else ""
+        lines.append(row.render() + suffix)
+    print_exhibit(
+        f"Table I ({algorithm}) — end-to-end training time",
+        lines,
+        paper_note="60k-episode times grow super-linearly with N; PP > CN",
+    )
+
+    # shape assertion: super-linear growth with the agent count.
+    # (The paper's PP > CN per-N ordering is not asserted: its ~1.5x PP
+    # excess includes training the prey agents, whereas this reproduction
+    # follows the paper's §II-B text and scripts the prey — see
+    # EXPERIMENTS.md for the accounting.)
+    for env_name in ("predator_prey", "cooperative_navigation"):
+        t3 = results[(env_name, 3)].total_seconds
+        t6 = results[(env_name, 6)].total_seconds
+        assert t6 > 1.5 * t3, f"{env_name}: expected super-linear growth, {t3} -> {t6}"
+
+
+def bench_table1_per_episode_rate(benchmark):
+    """Time one MADDPG PP-6 episode (the Table-I unit of extrapolation)."""
+    from repro.experiments import build_workload
+    from repro.training import run_episode
+
+    spec = WorkloadSpec(
+        algorithm="maddpg",
+        env_name="predator_prey",
+        num_agents=6,
+        variant="baseline",
+        episodes=1,
+        config=scaled_config(update_every=25),
+    )
+    import numpy as np
+
+    from repro.experiments import fill_replay
+
+    env, trainer = build_workload(spec)
+    fill_replay(trainer.replay, np.random.default_rng(1), spec.config.batch_size)
+    run_episode(env, trainer)  # warm-up: triggers the first update round
+
+    def one_episode():
+        run_episode(env, trainer)
+
+    benchmark(one_episode)
+    seconds = benchmark.stats.stats.mean
+    projected = seconds * PAPER_EPISODES
+    print_exhibit(
+        "Table I unit rate (MADDPG PP-6)",
+        [
+            f"measured {seconds * 1e3:.1f} ms/episode",
+            f"60k-episode projection: {projected:.0f}s "
+            f"[paper: {PAPER_TABLE1[('maddpg', 'predator_prey', 6)]:.0f}s on RTX 3090]",
+        ],
+    )

@@ -1,0 +1,71 @@
+"""Cross-platform what-if analysis (paper Figures 12-13).
+
+Uses the analytical platform models to project where each optimization
+pays off on the paper's three hosts — the RTX 3090 workstation, the
+GTX 1070 desktop, and the same desktop with the GPU disabled — across
+agent counts, without needing any of that hardware.
+
+Usage::
+
+    python examples/cross_platform_projection.py [--batch 1024]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import env_obs_dims
+from repro.platform import PRESETS, project, update_round_workload
+
+AGENT_COUNTS = (3, 6, 12, 24)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=1024)
+    parser.add_argument("--env", default="predator_prey",
+                        choices=["predator_prey", "cooperative_navigation"])
+    args = parser.parse_args()
+
+    print(f"workload: MADDPG {args.env}, batch {args.batch}, "
+          "cache-aware locality vs random baseline\n")
+
+    header = (
+        f"{'platform':<24} {'N':>3} {'base round':>11} {'opt round':>11} "
+        f"{'MBS red.':>9} {'TT red.':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, platform in sorted(PRESETS.items()):
+        for n in AGENT_COUNTS:
+            obs_dims = env_obs_dims(args.env, n)
+            act_dims = [5] * n
+            base = project(
+                platform,
+                update_round_workload(obs_dims, act_dims, args.batch,
+                                      locality_fraction=0.0),
+            )
+            opt = project(
+                platform,
+                update_round_workload(obs_dims, act_dims, args.batch,
+                                      locality_fraction=1.0),
+            )
+            mbs = (base.sampling_s - opt.sampling_s) / base.sampling_s * 100
+            tt = (base.total_s - opt.total_s) / base.total_s * 100
+            print(
+                f"{name:<24} {n:>3} {base.total_s * 1e3:>9.1f}ms "
+                f"{opt.total_s * 1e3:>9.1f}ms {mbs:>8.1f}% {tt:>7.1f}%"
+            )
+        print()
+
+    print("Paper §VI-B findings the model reproduces:")
+    print(" * sampling-phase reductions sit in the ~25-40% band everywhere;")
+    print(" * the CPU-only host gains more end-to-end than the GTX 1070 host")
+    print("   at small N (the weak GPU's transfer + dispatch overheads dilute")
+    print("   the sampling win), with the gap closing as N grows;")
+    print(" * the layout-reorganized O(m) gather (try update_round_workload(")
+    print("   ..., layout_reorganized=True)) shifts the balance further.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: train MADDPG on cooperative navigation and profile it.
+
+Runs a laptop-scale version of the paper's workload (3 agents, the
+paper's hyper-parameters scaled down), prints the learning progress and
+the Figure-2/3-style phase breakdown the library produces for free.
+
+Usage::
+
+    python examples/quickstart.py [--episodes 80] [--agents 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.profiling.breakdown import end_to_end_breakdown, update_breakdown
+from repro.profiling.timers import PhaseTimer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=80)
+    parser.add_argument("--agents", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # 1. Make an environment (observation dims follow the paper: Box(6N))
+    env = repro.make_env(
+        "cooperative_navigation", num_agents=args.agents, seed=args.seed
+    )
+    print(f"environment: cooperative_navigation, {env.num_agents} agents, "
+          f"observations {env.obs_dims}, actions {env.act_dims}")
+
+    # 2. Build a trainer: paper hyper-parameters, scaled for a laptop
+    config = repro.MARLConfig(
+        batch_size=64, buffer_capacity=8192, update_every=25
+    )
+    trainer = repro.make_trainer(
+        "maddpg", "baseline", env.obs_dims, env.act_dims,
+        config=config, seed=args.seed,
+    )
+    print(f"trainer: {trainer.name}, {trainer.num_parameters():,} parameters")
+
+    # 3. Train with phase instrumentation
+    result = repro.train(
+        env, trainer,
+        episodes=args.episodes,
+        env_name="cooperative_navigation",
+        progress_every=max(args.episodes // 4, 1),
+    )
+
+    # 4. Report learning and the paper-style breakdowns
+    print()
+    print(f"episodes: {result.episodes}, total {result.total_seconds:.1f}s, "
+          f"{result.update_rounds} update rounds")
+    print(f"mean episode reward (last quarter): "
+          f"{result.mean_episode_reward(last=args.episodes // 4):.2f}")
+
+    timer = PhaseTimer()
+    for key, value in result.phase_totals.items():
+        timer.add(key, value)
+    print()
+    print("Figure-2-style end-to-end breakdown:")
+    print(" ", end_to_end_breakdown(timer, result.total_seconds).render())
+    print("Figure-3-style update breakdown:")
+    print(" ", update_breakdown(timer).render())
+    print()
+    print("full phase tree:")
+    print(timer.render_tree(total=result.total_seconds))
+
+
+if __name__ == "__main__":
+    main()

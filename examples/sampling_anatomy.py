@@ -1,0 +1,104 @@
+"""Anatomy of the mini-batch sampling phase (paper Figures 5 and 7).
+
+Walks through what each sampling strategy actually reads from the
+replay buffers — the common indices array, the contiguous neighbor
+runs, the per-row priorities — and replays each pattern's address
+trace through the memory-hierarchy simulator to show *why* the
+locality-aware strategies win (fewer cache and dTLB misses, prefetcher
+engagement).
+
+Usage::
+
+    python examples/sampling_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.buffers import MultiAgentReplay
+from repro.core import (
+    CacheAwareSampler,
+    InformationPrioritizedSampler,
+    UniformSampler,
+)
+from repro.experiments import fill_replay, simulate_sampling_counters
+
+NUM_AGENTS = 3
+OBS_DIMS = [16, 16, 16]  # the paper's PP-3 predators
+ACT_DIMS = [5, 5, 5]
+BATCH = 32
+CAPACITY = 50_000
+
+
+def show_indices(label: str, batch) -> None:
+    print(f"\n{label}")
+    print(f"  indices[:16] = {batch.indices[:16].tolist()}")
+    if batch.runs:
+        runs = ", ".join(f"[{r.start}..{r.start + r.length})" for r in batch.runs[:6])
+        print(f"  runs: {runs}{' ...' if len(batch.runs) > 6 else ''}")
+    if batch.weights is not None:
+        w = np.round(batch.weights[:8], 3).tolist()
+        print(f"  importance weights[:8] = {w}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    replay = MultiAgentReplay(OBS_DIMS, ACT_DIMS, capacity=4096)
+    fill_replay(replay, rng, 2048)
+    prioritized = MultiAgentReplay(OBS_DIMS, ACT_DIMS, capacity=4096, prioritized=True)
+    fill_replay(prioritized, rng, 2048)
+    prioritized.priority_buffer(0).update_priorities(
+        range(2048), rng.uniform(0.01, 5.0, 2048)
+    )
+
+    print("One mini-batch of", BATCH, "transitions for", NUM_AGENTS, "agents:")
+    show_indices(
+        "1. baseline uniform sampling (Figure 5: random reference points)",
+        UniformSampler().sample(replay, rng, BATCH),
+    )
+    show_indices(
+        "2. cache-aware sampling, n=8 neighbors x 4 refs (Figure 7, bottom)",
+        CacheAwareSampler(8, 4).sample(replay, rng, BATCH),
+    )
+    show_indices(
+        "3. information-prioritized sampling (priority -> 1/2/4 neighbors)",
+        InformationPrioritizedSampler().sample(prioritized, rng, BATCH),
+    )
+
+    print("\nMemory-hierarchy simulation of one full update round "
+          f"(batch {BATCH * 4}, {CAPACITY:,}-row working set):")
+    header = f"  {'pattern':<14} {'line accesses':>14} {'LLC misses':>11} {'dTLB misses':>12} {'prefetch hits':>14}"
+    print(header)
+    for pattern, kwargs in (
+        ("random", {}),
+        ("cache_aware", {"neighbors": 16, "refs": 8}),
+        ("kv", {}),
+    ):
+        profile = simulate_sampling_counters(
+            OBS_DIMS, ACT_DIMS, CAPACITY, BATCH * 4, pattern=pattern, **kwargs
+        )
+        c = profile.counters
+        print(
+            f"  {pattern:<14} {c['accesses']:>14,.0f} {c['cache_misses']:>11,.0f} "
+            f"{c['dtlb_misses']:>12,.0f} {c['prefetch_hits']:>14,.0f}"
+        )
+    print("\nRandom gathers miss on nearly every row; neighbor runs engage the")
+    print("stride prefetcher; the packed key-value layout additionally touches")
+    print("one region instead of", NUM_AGENTS * 5, "scattered field arrays.")
+
+    # contrast with the write side: storing experiences is sequential
+    from repro.memsim import MemoryHierarchy, buffer_write_trace, make_agent_major_map
+    from repro.buffers.transition import JointSchema
+
+    schema = JointSchema.from_dims(OBS_DIMS, ACT_DIMS)
+    amap = make_agent_major_map(schema, CAPACITY)
+    writes = MemoryHierarchy().run(buffer_write_trace(amap, 0, BATCH * 4))
+    print(f"\nFor contrast, *writing* {BATCH * 4} experience rows misses only "
+          f"{writes.cache_misses} lines")
+    print("(sequential ring appends) — storage is never the bottleneck, "
+          "gathering is.")
+
+
+if __name__ == "__main__":
+    main()

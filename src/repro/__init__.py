@@ -1,0 +1,42 @@
+"""repro — reproduction of "Characterizing and Optimizing the End-to-End
+Performance of Multi-Agent Reinforcement Learning Systems" (IISWC 2024).
+
+Top-level convenience API::
+
+    import repro
+
+    env = repro.make_env("predator_prey", num_agents=6, seed=0)
+    trainer = repro.make_trainer("maddpg", "cache_aware_n16_r64",
+                                 env.obs_dims, env.act_dims, seed=0)
+    result = repro.train(env, trainer, episodes=200)
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: sampling strategies,
+  neighbor predictor, importance weights, layout reorganization.
+* :mod:`repro.algos` — MADDPG / MATD3 trainers and variants.
+* :mod:`repro.envs` — from-scratch multi-agent particle environments.
+* :mod:`repro.buffers` — replay storage (agent-major / PER / packed KV).
+* :mod:`repro.nn` — numpy neural-network substrate.
+* :mod:`repro.memsim` — trace-driven cache/TLB simulator (perf stand-in).
+* :mod:`repro.profiling` — phase timers and paper-style breakdowns.
+* :mod:`repro.platform` — cross-platform cost models.
+* :mod:`repro.training` — training loop, evaluation, results.
+* :mod:`repro.experiments` — the paper's evaluation matrix and exhibits.
+"""
+
+from .algos.config import PAPER_CONFIG, MARLConfig
+from .algos.variants import build_trainer as make_trainer
+from .envs.registry import make as make_env
+from .training.loop import train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "make_env",
+    "make_trainer",
+    "train",
+    "MARLConfig",
+    "PAPER_CONFIG",
+    "__version__",
+]

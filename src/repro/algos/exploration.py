@@ -1,0 +1,107 @@
+"""Exploration schedules and noise processes.
+
+The reference MADDPG explores through its stochastic Gumbel-Softmax
+policy; practitioners commonly add annealed epsilon-greedy mixing or
+temperature schedules on top, and continuous-control variants use
+Ornstein-Uhlenbeck noise.  All three are provided as small, seedable
+components the training loop can compose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearSchedule", "ExponentialSchedule", "OrnsteinUhlenbeckNoise"]
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``steps``."""
+
+    def __init__(self, start: float, end: float, steps: int) -> None:
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        self.start = float(start)
+        self.end = float(end)
+        self.steps = int(steps)
+        self.t = 0
+
+    @property
+    def value(self) -> float:
+        frac = min(1.0, self.t / self.steps)
+        return self.start + (self.end - self.start) * frac
+
+    def step(self) -> float:
+        """Advance one step; returns the new value."""
+        self.t += 1
+        return self.value
+
+    def reset(self) -> None:
+        self.t = 0
+
+
+class ExponentialSchedule:
+    """Exponential decay ``start * decay^t`` floored at ``end``."""
+
+    def __init__(self, start: float, end: float, decay: float) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        if end > start:
+            raise ValueError(f"end {end} must not exceed start {start}")
+        self.start = float(start)
+        self.end = float(end)
+        self.decay = float(decay)
+        self.t = 0
+
+    @property
+    def value(self) -> float:
+        return max(self.end, self.start * self.decay**self.t)
+
+    def step(self) -> float:
+        self.t += 1
+        return self.value
+
+    def reset(self) -> None:
+        self.t = 0
+
+
+class OrnsteinUhlenbeckNoise:
+    """Temporally correlated exploration noise (Uhlenbeck & Ornstein).
+
+    ``dx = theta * (mu - x) * dt + sigma * sqrt(dt) * N(0, 1)`` — the
+    classic DDPG exploration process for continuous actions; mean-
+    reverting, so exploration pushes persistently in one direction
+    before wandering back.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        mu: float = 0.0,
+        theta: float = 0.15,
+        sigma: float = 0.2,
+        dt: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if theta <= 0 or sigma <= 0 or dt <= 0:
+            raise ValueError("theta, sigma, and dt must be positive")
+        self.size = size
+        self.mu = mu
+        self.theta = theta
+        self.sigma = sigma
+        self.dt = dt
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.state = np.full(size, mu, dtype=np.float64)
+
+    def sample(self) -> np.ndarray:
+        """Advance the process one step and return the new state (a copy)."""
+        drift = self.theta * (self.mu - self.state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self.rng.standard_normal(self.size)
+        self.state = self.state + drift + diffusion
+        return self.state.copy()
+
+    def reset(self) -> None:
+        self.state = np.full(self.size, self.mu, dtype=np.float64)

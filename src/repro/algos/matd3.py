@@ -1,0 +1,108 @@
+"""MATD3 trainer (Ackermann et al. 2019) — MADDPG + TD3's three fixes.
+
+The paper's second workload.  Relative to MADDPG:
+
+1. **Twin centralized critics** per agent; the target is the minimum of
+   the two target critics, countering Q overestimation.
+2. **Target-policy smoothing**: clipped Gaussian noise on the target
+   actor's logits before the softmax ("incorporates small amounts of
+   noise to the actions sampled from the buffer").
+3. **Delayed policy updates**: actors and target networks update every
+   ``policy_delay`` rounds, letting the critics settle first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.batch import MiniBatch
+from ..nn import clip_grad_norm
+from ..profiling.phases import LOSS_UPDATE, SAMPLING, TARGET_Q, UPDATE_ALL_TRAINERS
+from .maddpg import MADDPGTrainer
+
+__all__ = ["MATD3Trainer"]
+
+
+class MATD3Trainer(MADDPGTrainer):
+    """Twin-delayed multi-agent DDPG."""
+
+    twin_critics = True
+
+    @property
+    def name(self) -> str:
+        return "matd3"
+
+    # -- TD3 fix #2: smoothed target actions ---------------------------------------
+
+    def _target_actions(self, batch: MiniBatch) -> List[np.ndarray]:
+        return [
+            agent.target_act(
+                batch.agents[k].next_obs,
+                rng=self.rng,
+                noise=self.config.target_noise,
+                noise_clip=self.config.target_noise_clip,
+            )
+            for k, agent in enumerate(self.agents)
+        ]
+
+    # -- TD3 fix #1: twin-minimum target ----------------------------------------------
+
+    def _target_q_values(self, agent_idx: int, joint_next: np.ndarray) -> np.ndarray:
+        agent = self.agents[agent_idx]
+        assert agent.target_critic2 is not None
+        q1 = agent.target_critic(joint_next)
+        q2 = agent.target_critic2(joint_next)
+        return np.minimum(q1, q2)
+
+    # -- TD3 fix #1 (training side): both critics regress the shared target ---------
+
+    def _update_critic(self, agent_idx: int, batch: MiniBatch, target_q: np.ndarray):
+        agent = self.agents[agent_idx]
+        assert agent.critic2 is not None
+        x = self._critic_input(batch)
+        q1 = agent.critic(x)
+        loss1, grad1 = self._critic_loss_and_grad(q1, target_q, batch.weights)
+        q2 = agent.critic2(x)
+        loss2, grad2 = self._critic_loss_and_grad(q2, target_q, batch.weights)
+        agent.critic_optimizer.zero_grad()
+        agent.critic.backward(grad1)
+        agent.critic2.backward(grad2)
+        if self.config.grad_clip is not None:
+            clip_grad_norm(agent.critic_params, self.config.grad_clip)
+        agent.critic_optimizer.step()
+        td = (q1 - target_q).ravel()
+        return loss1 + loss2, td
+
+    # -- TD3 fix #3: delayed policy and target updates ----------------------------------
+
+    def update(self, force: bool = False) -> Optional[Dict[str, float]]:
+        if not force and not self.should_update():
+            return None
+        if len(self.replay) < self.config.batch_size:
+            return None
+        self.steps_since_update = 0
+        delayed = (self.update_rounds + 1) % self.config.policy_delay == 0
+        losses: Dict[str, float] = {"q_loss": 0.0, "p_loss": 0.0}
+        beta = self.beta_schedule.step()
+        self.sampler.set_beta(beta)
+        with self.timer.phase(UPDATE_ALL_TRAINERS):
+            for i in range(self.num_agents):
+                with self.timer.phase(SAMPLING):
+                    batch = self._sample_for(i)
+                with self.timer.phase(TARGET_Q):
+                    target_q = self._target_q(i, batch)
+                with self.timer.phase(LOSS_UPDATE):
+                    q_loss, td = self._update_critic(i, batch, target_q)
+                    p_loss = self._update_actor(i, batch) if delayed else 0.0
+                self.sampler.update_priorities(self.replay, i, batch, td)
+                losses["q_loss"] += q_loss
+                losses["p_loss"] += p_loss
+            if delayed:
+                for agent in self.agents:
+                    agent.soft_update_targets()
+        self.update_rounds += 1
+        losses["q_loss"] /= self.num_agents
+        losses["p_loss"] /= self.num_agents
+        return losses

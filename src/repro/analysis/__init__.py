@@ -1,0 +1,27 @@
+"""Statistical analysis: multi-seed replication and variant comparison."""
+
+from .multiseed import (
+    MultiSeedResult,
+    VariantComparison,
+    compare_variants,
+    run_seeds,
+)
+from .stats import (
+    SampleSummary,
+    bootstrap_ratio_ci,
+    mann_whitney_u,
+    rank_biserial,
+    summarize,
+)
+
+__all__ = [
+    "summarize",
+    "SampleSummary",
+    "bootstrap_ratio_ci",
+    "mann_whitney_u",
+    "rank_biserial",
+    "run_seeds",
+    "MultiSeedResult",
+    "compare_variants",
+    "VariantComparison",
+]

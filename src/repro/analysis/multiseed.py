@@ -1,0 +1,137 @@
+"""Multi-seed experiment replication and variant comparison.
+
+Wraps the single-run experiment runner with seed replication and the
+statistics from :mod:`repro.analysis.stats`, producing the evidence a
+performance claim needs: per-variant timing summaries, speedup CIs, and
+a significance test for "A beats B".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..experiments.runner import run_workload
+from ..experiments.workloads import WorkloadSpec
+from ..training.results import RunResult
+from .stats import (
+    SampleSummary,
+    bootstrap_ratio_ci,
+    mann_whitney_u,
+    rank_biserial,
+    summarize,
+)
+
+__all__ = ["MultiSeedResult", "run_seeds", "VariantComparison", "compare_variants"]
+
+
+@dataclass
+class MultiSeedResult:
+    """All seeds' results for one workload cell."""
+
+    spec: WorkloadSpec
+    results: List[RunResult] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> List[int]:
+        return list(range(len(self.results)))
+
+    def total_seconds(self) -> List[float]:
+        return [r.total_seconds for r in self.results]
+
+    def sampling_seconds(self) -> List[float]:
+        return [
+            r.phase_seconds("update_all_trainers.sampling") for r in self.results
+        ]
+
+    def final_rewards(self, window: int = 10) -> List[float]:
+        return [float(r.reward_curve(window=window)[-1]) for r in self.results]
+
+    def time_summary(self) -> SampleSummary:
+        return summarize(self.total_seconds())
+
+    def reward_summary(self, window: int = 10) -> SampleSummary:
+        return summarize(self.final_rewards(window=window))
+
+    def mean_curve(self, window: int = 10) -> np.ndarray:
+        """Seed-averaged smoothed reward curve (truncated to shortest run)."""
+        curves = [r.reward_curve(window=window) for r in self.results]
+        n = min(c.size for c in curves)
+        if n == 0:
+            raise ValueError("runs recorded no rewards")
+        return np.mean([c[:n] for c in curves], axis=0)
+
+
+def run_seeds(spec: WorkloadSpec, seeds: Sequence[int]) -> MultiSeedResult:
+    """Run one workload cell under each seed."""
+    if not seeds:
+        raise ValueError("run_seeds requires at least one seed")
+    out = MultiSeedResult(spec=spec)
+    for seed in seeds:
+        out.results.append(run_workload(replace(spec, seed=int(seed))))
+    return out
+
+
+@dataclass(frozen=True)
+class VariantComparison:
+    """Statistical comparison of two variants on one workload cell."""
+
+    baseline_variant: str
+    optimized_variant: str
+    metric: str
+    baseline: SampleSummary
+    optimized: SampleSummary
+    speedup_ci: tuple
+    p_value: float
+    effect_size: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the optimized variant is credibly faster (p < 0.05
+        and the speedup CI excludes 1.0)."""
+        return self.p_value < 0.05 and self.speedup_ci[0] > 1.0
+
+    def render(self) -> str:
+        return (
+            f"{self.optimized_variant} vs {self.baseline_variant} ({self.metric}): "
+            f"speedup CI [{self.speedup_ci[0]:.2f}, {self.speedup_ci[1]:.2f}]x, "
+            f"p={self.p_value:.4f}, effect={self.effect_size:+.2f} "
+            f"({'significant' if self.significant else 'not significant'})"
+        )
+
+
+def compare_variants(
+    baseline: MultiSeedResult,
+    optimized: MultiSeedResult,
+    metric: str = "total",
+    rng: np.random.Generator = None,
+) -> VariantComparison:
+    """Compare two multi-seed runs on a timing metric.
+
+    ``metric``: ``"total"`` (end-to-end seconds, Figure 9's quantity) or
+    ``"sampling"`` (sampling-phase seconds, Figure 8's quantity).
+    """
+    if metric == "total":
+        base_vals = baseline.total_seconds()
+        opt_vals = optimized.total_seconds()
+    elif metric == "sampling":
+        base_vals = baseline.sampling_seconds()
+        opt_vals = optimized.sampling_seconds()
+    else:
+        raise ValueError(f"unknown metric {metric!r}; use 'total' or 'sampling'")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    ci = bootstrap_ratio_ci(base_vals, opt_vals, rng)  # baseline/optimized = speedup
+    _, p = mann_whitney_u(base_vals, opt_vals)
+    effect = rank_biserial(base_vals, opt_vals)
+    return VariantComparison(
+        baseline_variant=baseline.spec.variant,
+        optimized_variant=optimized.spec.variant,
+        metric=metric,
+        baseline=summarize(base_vals),
+        optimized=summarize(opt_vals),
+        speedup_ci=ci,
+        p_value=p,
+        effect_size=effect,
+    )

@@ -1,0 +1,154 @@
+"""Statistical utilities for multi-seed experiment aggregation.
+
+Single-run timings and reward curves are noisy; credible performance
+claims need seed replication.  This module provides the small toolkit
+the multi-seed runner uses: mean/CI summaries, bootstrap intervals for
+speedup ratios, and a Mann-Whitney rank test for "variant A is faster
+than variant B" claims without normality assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ratio_ci",
+    "mann_whitney_u",
+    "rank_biserial",
+]
+
+#: two-sided 95% normal quantile, used for t-approximate CIs at small n
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean, spread, and an approximate 95% CI of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+    def render(self, unit: str = "") -> str:
+        return (
+            f"{self.mean:.4g}{unit} "
+            f"(95% CI [{self.ci_low:.4g}, {self.ci_high:.4g}], "
+            f"n={self.n}, range [{self.minimum:.4g}, {self.maximum:.4g}])"
+        )
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Normal-approximation summary of a sample (sufficient at n >= 5)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = _Z95 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SampleSummary(
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def bootstrap_ratio_ci(
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    rng: np.random.Generator,
+    iterations: int = 2000,
+    confidence: float = 0.95,
+) -> tuple:
+    """Percentile-bootstrap CI for ``mean(numerator) / mean(denominator)``.
+
+    The natural statistic for speedup claims ("baseline seconds /
+    optimized seconds"): resamples both groups independently.
+    """
+    num = np.asarray(list(numerator), dtype=np.float64)
+    den = np.asarray(list(denominator), dtype=np.float64)
+    if num.size == 0 or den.size == 0:
+        raise ValueError("bootstrap requires non-empty samples")
+    if np.any(den <= 0) or np.any(num <= 0):
+        raise ValueError("ratio bootstrap requires positive samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    ratios = np.empty(iterations)
+    for i in range(iterations):
+        ratios[i] = (
+            num[rng.integers(0, num.size, num.size)].mean()
+            / den[rng.integers(0, den.size, den.size)].mean()
+        )
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(ratios, alpha)),
+        float(np.quantile(ratios, 1.0 - alpha)),
+    )
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> tuple:
+    """Two-sided Mann-Whitney U test (normal approximation, tie-corrected).
+
+    Returns ``(U, p_value)`` where U counts pairs with ``a > b`` (plus
+    half-ties).  Suitable from ~n=5 per group; exact tables are not
+    needed for the bench sample sizes used here.
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("mann_whitney_u requires non-empty samples")
+    n1, n2 = a.size, b.size
+    combined = np.concatenate([a, b])
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty_like(combined)
+    # average ranks for ties
+    sorted_vals = combined[order]
+    i = 0
+    while i < combined.size:
+        j = i
+        while j + 1 < combined.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = avg_rank
+        i = j + 1
+    r1 = float(ranks[:n1].sum())
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    # tie correction for the variance
+    _, counts = np.unique(combined, return_counts=True)
+    tie_term = float(np.sum(counts**3 - counts))
+    n = n1 + n2
+    sigma_sq = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1))) if n > 1 else 0.0
+    if sigma_sq <= 0:
+        return u1, 1.0
+    z = (u1 - mu) / math.sqrt(sigma_sq)
+    p = 2.0 * (1.0 - _phi(abs(z)))
+    return u1, min(max(p, 0.0), 1.0)
+
+
+def rank_biserial(a: Sequence[float], b: Sequence[float]) -> float:
+    """Rank-biserial effect size in [-1, 1] (+1 = every a exceeds every b)."""
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("rank_biserial requires non-empty samples")
+    u1, _ = mann_whitney_u(a, b)
+    return float(2.0 * u1 / (a.size * b.size) - 1.0)
+
+
+def _phi(x: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))

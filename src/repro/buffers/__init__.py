@@ -1,0 +1,34 @@
+"""Experience-replay substrate: agent-major, prioritized, and timestep-major.
+
+Three storage organizations back the paper's experiments:
+
+* :class:`ReplayBuffer` / :class:`MultiAgentReplay` — the baseline
+  agent-major layout whose O(N*m) scattered gathers the paper profiles.
+* :class:`PrioritizedReplayBuffer` — PER (sum-tree proportional sampling)
+  for the PER-MADDPG baseline and information-prioritized sampling.
+* :class:`KVTransitionStore` — the timestep-major key-value layout of the
+  data-layout-reorganization optimization (O(m) sampling).
+"""
+
+from .kv_layout import KVTransitionStore
+from .multi_agent import MultiAgentReplay
+from .nstep import NStepAccumulator
+from .prioritized import PrioritizedReplayBuffer
+from .replay import PAPER_BUFFER_CAPACITY, ReplayBuffer
+from .sum_tree import MinTree, SegmentTree, SumTree
+from .transition import FLOAT_BYTES, JointSchema, TransitionSchema
+
+__all__ = [
+    "ReplayBuffer",
+    "PAPER_BUFFER_CAPACITY",
+    "PrioritizedReplayBuffer",
+    "MultiAgentReplay",
+    "KVTransitionStore",
+    "NStepAccumulator",
+    "SumTree",
+    "MinTree",
+    "SegmentTree",
+    "TransitionSchema",
+    "JointSchema",
+    "FLOAT_BYTES",
+]

@@ -1,0 +1,134 @@
+"""Multi-agent replay façade: N per-agent buffers inserted in lock-step.
+
+The CTDE trainers store every agent's transition at each environment step
+(Figure 1: "Store experiences (obs_j, act_j, rewards_j, next obs_j,
+done_j)"), so all per-agent buffers share one logical index space: row
+``t`` of agent k's buffer is the same timestep as row ``t`` of agent j's.
+That shared index space is what makes a *common indices array* (Figure 5)
+meaningful, and what the layout reorganization exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .prioritized import PrioritizedReplayBuffer
+from .replay import ReplayBuffer
+from .transition import JointSchema
+
+__all__ = ["MultiAgentReplay"]
+
+
+class MultiAgentReplay:
+    """Lock-step collection of per-agent replay buffers.
+
+    Parameters
+    ----------
+    obs_dims, act_dims:
+        Per-agent observation/action widths (heterogeneous allowed —
+        predators and prey have different observation sizes).
+    capacity:
+        Shared ring capacity (paper: 1e6).
+    prioritized:
+        When True, agent buffers are :class:`PrioritizedReplayBuffer`
+        (for PER-MADDPG and the information-prioritized sampler).
+    alpha:
+        PER priority exponent (only with ``prioritized=True``).
+    """
+
+    def __init__(
+        self,
+        obs_dims: Sequence[int],
+        act_dims: Sequence[int],
+        capacity: int = 1_000_000,
+        prioritized: bool = False,
+        alpha: float = 0.6,
+    ) -> None:
+        if len(obs_dims) != len(act_dims):
+            raise ValueError("obs_dims and act_dims must have equal length")
+        if not obs_dims:
+            raise ValueError("MultiAgentReplay needs at least one agent")
+        self.capacity = capacity
+        self.prioritized = prioritized
+        self.schema = JointSchema.from_dims(list(obs_dims), list(act_dims))
+        self.buffers: List[ReplayBuffer] = []
+        for o, a in zip(obs_dims, act_dims):
+            if prioritized:
+                self.buffers.append(
+                    PrioritizedReplayBuffer(capacity, o, a, alpha=alpha)
+                )
+            else:
+                self.buffers.append(ReplayBuffer(capacity, o, a))
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.buffers)
+
+    def __len__(self) -> int:
+        """Number of complete joint timesteps stored."""
+        return len(self.buffers[0])
+
+    def __getitem__(self, agent_idx: int) -> ReplayBuffer:
+        return self.buffers[agent_idx]
+
+    def add(
+        self,
+        obs: Sequence[np.ndarray],
+        act: Sequence[np.ndarray],
+        rew: Sequence[float],
+        next_obs: Sequence[np.ndarray],
+        done: Sequence[bool],
+    ) -> int:
+        """Insert one joint timestep; returns the shared slot index."""
+        n = self.num_agents
+        if not (len(obs) == len(act) == len(rew) == len(next_obs) == len(done) == n):
+            raise ValueError(f"add expects {n} entries per field")
+        indices = {
+            buf.add(obs[k], act[k], rew[k], next_obs[k], done[k])
+            for k, buf in enumerate(self.buffers)
+        }
+        if len(indices) != 1:
+            raise RuntimeError(
+                "per-agent buffers fell out of lock-step; "
+                "do not add to individual buffers directly"
+            )
+        return indices.pop()
+
+    def clear(self) -> None:
+        for buf in self.buffers:
+            buf.clear()
+
+    def sample_indices(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> np.ndarray:
+        """Common uniform indices array shared by all agents (Figure 5)."""
+        return self.buffers[0].sample_indices(rng, batch_size)
+
+    def can_sample(self, batch_size: int) -> bool:
+        """True once enough joint timesteps exist for one mini-batch."""
+        return len(self) >= max(batch_size, 1)
+
+    def gather_all(
+        self, indices: Sequence[int], vectorized: bool = False
+    ) -> List[tuple]:
+        """Baseline O(N*m) gather: loop every agent's buffer over ``indices``.
+
+        This is exactly the paper's characterized bottleneck — each agent
+        trainer iterates over all agents' replay buffers with the common
+        indices array.
+        """
+        if vectorized:
+            return [buf.gather_vectorized(indices) for buf in self.buffers]
+        return [buf.gather(indices) for buf in self.buffers]
+
+    def priority_buffer(self, agent_idx: int) -> PrioritizedReplayBuffer:
+        """Typed access to a prioritized buffer; raises if not prioritized."""
+        buf = self.buffers[agent_idx]
+        if not isinstance(buf, PrioritizedReplayBuffer):
+            raise TypeError(
+                "buffer is not prioritized; construct MultiAgentReplay with "
+                "prioritized=True"
+            )
+        return buf

@@ -1,0 +1,124 @@
+"""N-step return accumulation ahead of replay insertion.
+
+A future-work-flavoured extension: instead of storing 1-step
+transitions ``(o_t, a_t, r_t, o_{t+1})``, accumulate n-step returns
+``R = sum_k gamma^k r_{t+k}`` and store ``(o_t, a_t, R, o_{t+n})``.
+Shorter bootstrap chains speed credit assignment at the cost of more
+off-policy bias — a standard knob in modern replay-based agents.
+
+The accumulator sits *in front of* any replay (agent-major,
+prioritized, or the layout reorganizer): feed it raw joint transitions,
+it emits matured n-step joint transitions ready for ``replay.add``.
+Episode termination flushes the pending window with truncated returns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["NStepAccumulator"]
+
+JointTransition = Tuple[list, list, list, list, list]
+
+
+class NStepAccumulator:
+    """Sliding-window n-step return builder for joint transitions.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of agents in each joint transition.
+    n:
+        Horizon; ``n=1`` reproduces plain 1-step storage exactly.
+    gamma:
+        Discount used inside the n-step sum (the trainer's own gamma
+        should then bootstrap with ``gamma**n`` — exposed as
+        :attr:`bootstrap_gamma`).
+    """
+
+    def __init__(self, num_agents: int, n: int, gamma: float) -> None:
+        if num_agents < 1:
+            raise ValueError(f"num_agents must be >= 1, got {num_agents}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        self.num_agents = num_agents
+        self.n = n
+        self.gamma = gamma
+        self._window: Deque[JointTransition] = deque()
+
+    @property
+    def bootstrap_gamma(self) -> float:
+        """The discount the TD target should apply to the stored next-obs."""
+        return self.gamma**self.n
+
+    @property
+    def pending(self) -> int:
+        """Transitions buffered but not yet matured."""
+        return len(self._window)
+
+    # -- feeding ---------------------------------------------------------------
+
+    def push(
+        self,
+        obs: Sequence[np.ndarray],
+        act: Sequence[np.ndarray],
+        rew: Sequence[float],
+        next_obs: Sequence[np.ndarray],
+        done: Sequence[bool],
+    ) -> List[JointTransition]:
+        """Feed one raw joint transition; returns matured n-step ones.
+
+        Under steady state each push matures exactly one transition;
+        at episode end (any agent done) the whole window flushes with
+        truncated returns, so no experience is lost.
+        """
+        if not (
+            len(obs) == len(act) == len(rew) == len(next_obs) == len(done)
+            == self.num_agents
+        ):
+            raise ValueError(f"push expects {self.num_agents} entries per field")
+        self._window.append(
+            (list(obs), list(act), [float(r) for r in rew], list(next_obs), list(done))
+        )
+        out: List[JointTransition] = []
+        if any(done):
+            out.extend(self.flush())
+            return out
+        if len(self._window) >= self.n:
+            out.append(self._mature())
+        return out
+
+    def flush(self) -> List[JointTransition]:
+        """Mature everything pending (episode boundary or shutdown)."""
+        out: List[JointTransition] = []
+        while self._window:
+            out.append(self._mature())
+        return out
+
+    def reset(self) -> None:
+        """Drop pending transitions without emitting (e.g. hard env reset)."""
+        self._window.clear()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _mature(self) -> JointTransition:
+        """Pop the oldest transition with its n-step return folded in."""
+        obs, act, _, _, _ = self._window[0]
+        returns = [0.0] * self.num_agents
+        discount = 1.0
+        last_next_obs = None
+        last_done = None
+        for _, _, rew, nxt, done in self._window:
+            for k in range(self.num_agents):
+                returns[k] += discount * rew[k]
+            last_next_obs, last_done = nxt, done
+            discount *= self.gamma
+            if any(done):
+                break
+        self._window.popleft()
+        return (obs, act, returns, list(last_next_obs), list(last_done))

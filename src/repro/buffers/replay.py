@@ -1,0 +1,208 @@
+"""Per-agent experience replay buffer (agent-major layout).
+
+This is the baseline storage organization the paper characterizes:
+each agent owns an independent ring buffer of its transitions, so an
+update round must gather from N distant buffers — the source of the
+irregular, cache-hostile access pattern (Figures 4-5).
+
+Two gather paths are provided:
+
+* :meth:`gather` — a faithful reproduction of the reference MADDPG
+  ``_encode_sample`` per-index Python loop.  This is the paper's measured
+  bottleneck, deliberately preserved.
+* :meth:`gather_vectorized` — numpy fancy indexing, used as an ablation
+  to quantify how much of the bottleneck is interpreter overhead versus
+  memory behaviour.
+
+Contiguous *runs* (for cache-locality-aware sampling) are served by
+:meth:`gather_run`, which maps to a sequential slice of the backing
+arrays — the access pattern the hardware prefetcher (and our cache
+model's stride prefetcher) accelerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .transition import TransitionSchema
+
+__all__ = ["ReplayBuffer", "PAPER_BUFFER_CAPACITY"]
+
+#: Paper §V: "The size of the replay buffer is 1 million."
+PAPER_BUFFER_CAPACITY = 1_000_000
+
+BatchFields = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of one agent's transitions.
+
+    Storage is five preallocated numpy arrays (obs/act/rew/next_obs/done),
+    written cyclically.  ``len(buffer)`` is the number of valid rows.
+    """
+
+    def __init__(self, capacity: int, obs_dim: int, act_dim: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.schema = TransitionSchema(obs_dim, act_dim)
+        self._obs = np.zeros((capacity, obs_dim), dtype=np.float64)
+        self._act = np.zeros((capacity, act_dim), dtype=np.float64)
+        self._rew = np.zeros(capacity, dtype=np.float64)
+        self._next_obs = np.zeros((capacity, obs_dim), dtype=np.float64)
+        self._done = np.zeros(capacity, dtype=np.float64)
+        self._next_idx = 0
+        self._size = 0
+
+    # -- writes ---------------------------------------------------------------
+
+    def add(
+        self,
+        obs: np.ndarray,
+        act: np.ndarray,
+        rew: float,
+        next_obs: np.ndarray,
+        done: bool,
+    ) -> int:
+        """Append one transition; returns the slot index it was written to."""
+        idx = self._next_idx
+        self._obs[idx] = obs
+        self._act[idx] = act
+        self._rew[idx] = rew
+        self._next_obs[idx] = next_obs
+        self._done[idx] = float(done)
+        self._next_idx = (self._next_idx + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        return idx
+
+    def clear(self) -> None:
+        self._next_idx = 0
+        self._size = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def obs_dim(self) -> int:
+        return self._obs.shape[1]
+
+    @property
+    def act_dim(self) -> int:
+        return self._act.shape[1]
+
+    @property
+    def next_index(self) -> int:
+        """Slot the next write will land in (wraps at capacity)."""
+        return self._next_idx
+
+    def storage_views(self) -> Dict[str, np.ndarray]:
+        """Read-only views of the raw storage (used by the layout reorganizer)."""
+        views = {
+            "obs": self._obs[: self._size],
+            "act": self._act[: self._size],
+            "rew": self._rew[: self._size],
+            "next_obs": self._next_obs[: self._size],
+            "done": self._done[: self._size],
+        }
+        for v in views.values():
+            v.flags.writeable = False
+        return views
+
+    # -- reads ------------------------------------------------------------------
+
+    def _check_indices(self, indices: Sequence[int]) -> None:
+        if len(indices) == 0:
+            raise ValueError("gather on empty index list")
+        if self._size == 0:
+            raise ValueError("gather on empty buffer")
+
+    def gather(self, indices: Sequence[int]) -> BatchFields:
+        """Reference-faithful gather: one Python-level lookup per index.
+
+        Reproduces the ``for i in idxes: ... append`` loop of the baseline
+        MADDPG buffer, whose per-index irregular accesses are the paper's
+        measured bottleneck.  Raises ``IndexError`` for out-of-range rows.
+        """
+        self._check_indices(indices)
+        obs_list: List[np.ndarray] = []
+        act_list: List[np.ndarray] = []
+        rew_list: List[float] = []
+        next_obs_list: List[np.ndarray] = []
+        done_list: List[float] = []
+        size = self._size
+        for i in indices:
+            i = int(i)
+            if not 0 <= i < size:
+                raise IndexError(f"index {i} out of range for buffer of size {size}")
+            obs_list.append(self._obs[i])
+            act_list.append(self._act[i])
+            rew_list.append(self._rew[i])
+            next_obs_list.append(self._next_obs[i])
+            done_list.append(self._done[i])
+        return (
+            np.array(obs_list),
+            np.array(act_list),
+            np.array(rew_list),
+            np.array(next_obs_list),
+            np.array(done_list),
+        )
+
+    def gather_vectorized(self, indices: Sequence[int]) -> BatchFields:
+        """Fast-path gather via numpy fancy indexing (ablation comparator)."""
+        self._check_indices(indices)
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self._size:
+            raise IndexError(
+                f"indices out of range [0, {self._size}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        return (
+            self._obs[idx],
+            self._act[idx],
+            self._rew[idx],
+            self._next_obs[idx],
+            self._done[idx],
+        )
+
+    def gather_run(self, start: int, length: int) -> BatchFields:
+        """Contiguous gather ``[start, start + length)`` with wraparound.
+
+        This is the access pattern the cache-locality-aware sampler emits:
+        a sequential run from a reference point (paper Algorithm 1,
+        ``D[idx : idx + neighbors]``).  Runs that would exceed the valid
+        region wrap modulo the current size, preserving batch shape.
+        """
+        if length <= 0:
+            raise ValueError(f"run length must be positive, got {length}")
+        if self._size == 0:
+            raise ValueError("gather_run on empty buffer")
+        if not 0 <= start < self._size:
+            raise IndexError(f"run start {start} out of range [0, {self._size})")
+        end = start + length
+        if end <= self._size:
+            sl = slice(start, end)
+            return (
+                self._obs[sl],
+                self._act[sl],
+                self._rew[sl],
+                self._next_obs[sl],
+                self._done[sl],
+            )
+        # wraparound: indices advance modulo the valid region (runs longer
+        # than the region cycle through it, keeping batch size exact)
+        idx = (start + np.arange(length)) % self._size
+        return self.gather_vectorized(idx)
+
+    def sample_indices(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> np.ndarray:
+        """Uniform random indices over the valid region (baseline sampler)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        return rng.integers(0, self._size, size=batch_size)

@@ -1,0 +1,138 @@
+"""Segment trees for proportional prioritized experience replay.
+
+Implements the classic PER data structures (Schaul et al., 2015, the
+paper's reference [27]): a sum tree for O(log n) proportional sampling
+and a min tree for importance-weight normalization.  Capacities are
+rounded up to a power of two internally.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["SegmentTree", "SumTree", "MinTree"]
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+class SegmentTree:
+    """Array-backed segment tree with a configurable reduction operator."""
+
+    def __init__(self, capacity: int, operation: Callable[[float, float], float], neutral: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = _next_pow2(capacity)
+        self._operation = operation
+        self._neutral = neutral
+        self._tree = np.full(2 * self.capacity, neutral, dtype=np.float64)
+
+    def __setitem__(self, idx: int, value: float) -> None:
+        if not 0 <= idx < self.capacity:
+            raise IndexError(f"index {idx} out of range [0, {self.capacity})")
+        pos = idx + self.capacity
+        self._tree[pos] = value
+        pos //= 2
+        while pos >= 1:
+            self._tree[pos] = self._operation(
+                self._tree[2 * pos], self._tree[2 * pos + 1]
+            )
+            pos //= 2
+
+    def __getitem__(self, idx: int) -> float:
+        if not 0 <= idx < self.capacity:
+            raise IndexError(f"index {idx} out of range [0, {self.capacity})")
+        return float(self._tree[idx + self.capacity])
+
+    def reduce(self, start: int = 0, end: int = None) -> float:
+        """Reduce over leaves [start, end) with the tree's operator."""
+        if end is None:
+            end = self.capacity
+        if start < 0 or end > self.capacity or start >= end:
+            raise ValueError(f"bad reduce range [{start}, {end})")
+        result = self._neutral
+        start += self.capacity
+        end += self.capacity
+        while start < end:
+            if start & 1:
+                result = self._operation(result, self._tree[start])
+                start += 1
+            if end & 1:
+                end -= 1
+                result = self._operation(result, self._tree[end])
+            start //= 2
+            end //= 2
+        return float(result)
+
+
+class SumTree(SegmentTree):
+    """Sum tree supporting prefix-sum descent for proportional sampling."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, operator.add, 0.0)
+
+    def total(self) -> float:
+        """Sum of all priorities."""
+        return float(self._tree[1])
+
+    def find_prefixsum_idx(self, prefixsum: float) -> int:
+        """Smallest leaf i with ``sum(leaves[0..i]) > prefixsum``.
+
+        This is the proportional-sampling descent: a uniform draw in
+        [0, total) lands on leaf i with probability p_i / total.
+        """
+        if prefixsum < 0:
+            raise ValueError(f"prefixsum must be non-negative, got {prefixsum}")
+        total = self.total()
+        if prefixsum > total + 1e-7:
+            raise ValueError(f"prefixsum {prefixsum} exceeds tree total {total}")
+        pos = 1
+        while pos < self.capacity:  # descend to a leaf
+            left = 2 * pos
+            if self._tree[left] > prefixsum:
+                pos = left
+            else:
+                prefixsum -= self._tree[left]
+                pos = left + 1
+        return pos - self.capacity
+
+    def sample_proportional(
+        self, rng: np.random.Generator, batch_size: int, valid_size: int
+    ) -> np.ndarray:
+        """Draw ``batch_size`` leaves proportionally to their priorities.
+
+        Stratified as in the PER paper: the mass is split into equal
+        segments and one draw is taken per segment, reducing variance.
+        Only leaves < ``valid_size`` carry mass (unwritten leaves are 0).
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if valid_size <= 0:
+            raise ValueError("cannot sample from an empty priority tree")
+        total = self.total()
+        if total <= 0:
+            raise ValueError("sum tree has no mass; add priorities first")
+        out = np.empty(batch_size, dtype=np.int64)
+        segment = total / batch_size
+        for k in range(batch_size):
+            mass = rng.uniform(segment * k, segment * (k + 1))
+            idx = self.find_prefixsum_idx(min(mass, total * (1 - 1e-12)))
+            out[k] = min(idx, valid_size - 1)
+        return out
+
+
+class MinTree(SegmentTree):
+    """Min tree used to normalize importance weights by max weight."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, min, float("inf"))
+
+    def min(self) -> float:
+        return float(self._tree[1])

@@ -1,0 +1,131 @@
+"""Transition schemas for experience replay.
+
+A *transition* is the tuple the paper stores per agent per step:
+``(obs_j, act_j, reward_j, next_obs_j, done_j)`` (Figure 1).  The schema
+object pins the per-field widths so buffers can preallocate flat numpy
+storage, and computes the byte footprint used by the memory-hierarchy
+simulator's address map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["TransitionSchema", "JointSchema", "FLOAT_BYTES"]
+
+#: Storage element width; MPE observations are float64 in the reference code.
+FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class TransitionSchema:
+    """Field widths of one agent's transition record.
+
+    ``width`` is the flattened float count:
+    ``obs + act + 1 (reward) + obs (next) + 1 (done)``.
+    """
+
+    obs_dim: int
+    act_dim: int
+
+    def __post_init__(self) -> None:
+        if self.obs_dim <= 0 or self.act_dim <= 0:
+            raise ValueError(
+                f"schema dims must be positive, got obs={self.obs_dim}, act={self.act_dim}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.obs_dim + self.act_dim + 1 + self.obs_dim + 1
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes per transition record (drives the memsim address map)."""
+        return self.width * FLOAT_BYTES
+
+    def slices(self) -> Dict[str, slice]:
+        """Field name -> column slice within the flat record."""
+        o, a = self.obs_dim, self.act_dim
+        return {
+            "obs": slice(0, o),
+            "act": slice(o, o + a),
+            "rew": slice(o + a, o + a + 1),
+            "next_obs": slice(o + a + 1, o + a + 1 + o),
+            "done": slice(o + a + 1 + o, o + a + 2 + o),
+        }
+
+    def pack(
+        self,
+        obs: np.ndarray,
+        act: np.ndarray,
+        rew: float,
+        next_obs: np.ndarray,
+        done: bool,
+    ) -> np.ndarray:
+        """Flatten one transition into a width-sized float row."""
+        row = np.empty(self.width, dtype=np.float64)
+        s = self.slices()
+        row[s["obs"]] = obs
+        row[s["act"]] = act
+        row[s["rew"]] = rew
+        row[s["next_obs"]] = next_obs
+        row[s["done"]] = float(done)
+        return row
+
+    def unpack(self, row: np.ndarray) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray, bool]:
+        """Inverse of :meth:`pack` for a single row."""
+        s = self.slices()
+        return (
+            row[s["obs"]],
+            row[s["act"]],
+            float(row[s["rew"]][0]),
+            row[s["next_obs"]],
+            bool(row[s["done"]][0] > 0.5),
+        )
+
+
+@dataclass(frozen=True)
+class JointSchema:
+    """Schemas of all N agents; describes one *timestep-major* record.
+
+    The layout-reorganization optimization (paper §IV-B2) packs every
+    agent's transition for a timestep into one contiguous value; this
+    class provides the per-agent column offsets inside that packed row.
+    """
+
+    agents: Tuple[TransitionSchema, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_dims(cls, obs_dims: List[int], act_dims: List[int]) -> "JointSchema":
+        if len(obs_dims) != len(act_dims):
+            raise ValueError("obs_dims and act_dims must have equal length")
+        if not obs_dims:
+            raise ValueError("JointSchema needs at least one agent")
+        return cls(
+            tuple(TransitionSchema(o, a) for o, a in zip(obs_dims, act_dims))
+        )
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.agents)
+
+    @property
+    def width(self) -> int:
+        """Total float count of a packed joint row."""
+        return sum(s.width for s in self.agents)
+
+    @property
+    def nbytes(self) -> int:
+        return self.width * FLOAT_BYTES
+
+    def agent_offsets(self) -> List[Tuple[int, int]]:
+        """(start, end) column range of each agent inside the joint row."""
+        out: List[Tuple[int, int]] = []
+        offset = 0
+        for schema in self.agents:
+            out.append((offset, offset + schema.width))
+            offset += schema.width
+        return out

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``      train one workload cell and print the result summary
+``profile``    run update rounds on a synthetic buffer and print the
+               paper-style phase breakdowns
+``sample``     microbenchmark the sampling strategies against each other
+``envs``       list registered environments and their observation spaces
+``variants``   list trainer variants
+
+Every command accepts ``--seed`` and prints deterministic, parseable
+output; see ``python -m repro <command> --help`` for knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .algos.config import MARLConfig
+from .algos.variants import VARIANTS, build_trainer
+from .envs.registry import available_envs, make
+from .experiments.microbench import fill_replay, time_sampler_round
+from .experiments.runner import run_workload
+from .experiments.workloads import WorkloadSpec
+from .profiling.breakdown import end_to_end_breakdown, update_breakdown
+from .profiling.timers import PhaseTimer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MARL performance characterization & optimization (IISWC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train one workload cell")
+    train.add_argument("--algorithm", choices=["maddpg", "matd3"], default="maddpg")
+    train.add_argument("--env", default="cooperative_navigation")
+    train.add_argument("--agents", type=int, default=3)
+    train.add_argument("--variant", default="baseline")
+    train.add_argument("--episodes", type=int, default=50)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--buffer", type=int, default=8192)
+    train.add_argument("--update-every", type=int, default=25)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save-json", default=None, help="write RunResult JSON here")
+    train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
+
+    profile = sub.add_parser("profile", help="phase breakdown of update rounds")
+    profile.add_argument("--algorithm", choices=["maddpg", "matd3"], default="maddpg")
+    profile.add_argument("--env", default="predator_prey")
+    profile.add_argument("--agents", type=int, default=3)
+    profile.add_argument("--variant", default="baseline")
+    profile.add_argument("--batch-size", type=int, default=1024)
+    profile.add_argument("--rounds", type=int, default=3)
+    profile.add_argument("--seed", type=int, default=0)
+
+    sample = sub.add_parser("sample", help="sampling-strategy microbenchmark")
+    sample.add_argument("--env", default="predator_prey")
+    sample.add_argument("--agents", type=int, default=6)
+    sample.add_argument("--batch-size", type=int, default=256)
+    sample.add_argument("--rows", type=int, default=4096)
+    sample.add_argument("--rounds", type=int, default=2)
+    sample.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("envs", help="list registered environments")
+    sub.add_parser("variants", help="list trainer variants")
+
+    report = sub.add_parser("report", help="regenerate headline exhibits as markdown")
+    report.add_argument("--output", default=None, help="write markdown here (default: stdout)")
+    report.add_argument("--agents", type=int, nargs="+", default=[3, 6])
+    report.add_argument("--batch-size", type=int, default=256)
+    report.add_argument("--rows", type=int, default=2048)
+    report.add_argument("--env", default="predator_prey")
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_train(args) -> int:
+    config = MARLConfig(
+        batch_size=args.batch_size,
+        buffer_capacity=args.buffer,
+        update_every=args.update_every,
+    )
+    spec = WorkloadSpec(
+        algorithm=args.algorithm,
+        env_name=args.env,
+        num_agents=args.agents,
+        variant=args.variant,
+        episodes=args.episodes,
+        seed=args.seed,
+        config=config,
+    )
+    print(f"training {spec.key} for {args.episodes} episodes ...")
+    result = run_workload(spec, progress_every=max(args.episodes // 5, 1))
+    print(
+        f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
+        f"mean reward (last 20%) {result.mean_episode_reward(last=max(args.episodes // 5, 1)):.2f}"
+    )
+    timer = PhaseTimer()
+    for key, value in result.phase_totals.items():
+        timer.add(key, value)
+    print("end-to-end:", end_to_end_breakdown(timer, result.total_seconds).render())
+    try:
+        print("update:    ", update_breakdown(timer).render())
+    except ValueError:
+        print("update:     (no update rounds ran; buffer never reached batch size)")
+    if args.save_json:
+        result.to_json(args.save_json)
+        print(f"result written to {args.save_json}")
+    if args.checkpoint:
+        from .algos.checkpoint import save_checkpoint
+        from .experiments.runner import build_workload
+
+        # rebuild to get the trainer (run_workload discards it); retrain
+        # is avoided by checkpointing from a fresh build only when asked
+        env, trainer = build_workload(spec)
+        print(
+            f"note: --checkpoint with the train command stores the freshly "
+            f"initialized trainer topology; use the API for mid-run checkpoints"
+        )
+        save_checkpoint(trainer, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    env = make(args.env, num_agents=args.agents, seed=args.seed)
+    config = MARLConfig(
+        batch_size=args.batch_size,
+        buffer_capacity=max(4 * args.batch_size, 4096),
+        update_every=100,
+    )
+    trainer = build_trainer(
+        args.algorithm, args.variant, env.obs_dims, env.act_dims,
+        config=config, seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    fill_replay(trainer.replay, rng, 2 * args.batch_size)
+    for _ in range(args.rounds):
+        trainer.update(force=True)
+    print(f"{args.algorithm}/{args.env}/{args.agents} agents, variant {args.variant}, "
+          f"batch {args.batch_size}, {args.rounds} update rounds")
+    print(update_breakdown(trainer.timer).render())
+    print()
+    print(trainer.timer.render_tree())
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    from .buffers.multi_agent import MultiAgentReplay
+    from .core import (
+        CacheAwareSampler,
+        InformationPrioritizedSampler,
+        PrioritizedSampler,
+        UniformSampler,
+    )
+    from .experiments.counters_study import env_obs_dims
+
+    obs_dims = env_obs_dims(args.env, args.agents)
+    act_dims = [5] * args.agents
+    rng = np.random.default_rng(args.seed)
+
+    replay = MultiAgentReplay(obs_dims, act_dims, capacity=args.rows)
+    fill_replay(replay, rng, args.rows)
+    preplay = MultiAgentReplay(obs_dims, act_dims, capacity=args.rows, prioritized=True)
+    fill_replay(preplay, rng, args.rows)
+    for i in range(args.agents):
+        preplay.priority_buffer(i).update_priorities(
+            range(args.rows), rng.uniform(0.01, 5.0, args.rows)
+        )
+
+    neighbors = 16 if args.batch_size % 16 == 0 else 1
+    samplers = [
+        (UniformSampler(), replay),
+        (CacheAwareSampler(neighbors, args.batch_size // neighbors), replay),
+        (PrioritizedSampler(), preplay),
+        (InformationPrioritizedSampler(), preplay),
+    ]
+    print(f"{args.env}, {args.agents} agents, batch {args.batch_size}, "
+          f"{args.rows} rows, {args.rounds} rounds per strategy")
+    baseline_s: Optional[float] = None
+    for sampler, target in samplers:
+        timing = time_sampler_round(sampler, target, rng, args.batch_size, rounds=args.rounds)
+        if baseline_s is None:
+            baseline_s = timing.seconds
+        rel = baseline_s / timing.seconds
+        print(f"  {sampler.name:<28} {timing.seconds_per_round * 1e3:9.2f} ms/round "
+              f"({rel:5.2f}x vs baseline)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(
+        agent_counts=tuple(args.agents),
+        batch_size=args.batch_size,
+        rows=args.rows,
+        env_name=args.env,
+        seed=args.seed,
+    )
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_envs(_args) -> int:
+    for name in available_envs():
+        env = make(name, num_agents=3, seed=0)
+        print(f"{name:<26} agents={env.num_agents} obs_dims={env.obs_dims} "
+              f"actions={env.act_dims}")
+    return 0
+
+
+def _cmd_variants(_args) -> int:
+    for variant in VARIANTS:
+        print(variant)
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "profile": _cmd_profile,
+    "sample": _cmd_sample,
+    "envs": _cmd_envs,
+    "variants": _cmd_variants,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

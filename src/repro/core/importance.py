@@ -1,0 +1,107 @@
+"""Importance-sampling weights for biased sampling strategies (Lemma 1).
+
+Paper §IV-B1, Lemma 1: the weight eliminating the bias of a changed
+sampling strategy at step i is
+
+    w_i = (1/N * 1/P(i)) ** beta
+
+where N is the buffer size, P(i) the (cache-locality-aware) sampling
+probability of index i, and beta the compensation parameter (beta = 1 is
+full compensation, as in importance sampling).  As in the PER reference,
+weights are normalized by their maximum so the learning-rate scale is
+preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "importance_weights",
+    "locality_probabilities",
+    "BetaSchedule",
+]
+
+
+def importance_weights(
+    probabilities: np.ndarray,
+    buffer_size: int,
+    beta: float,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Lemma-1 weights ``(1/N * 1/P(i))^beta``, optionally max-normalized."""
+    if buffer_size <= 0:
+        raise ValueError(f"buffer_size must be positive, got {buffer_size}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.size == 0:
+        raise ValueError("importance_weights on empty probabilities")
+    if np.any(probs <= 0) or np.any(probs > 1.0 + 1e-12):
+        raise ValueError("probabilities must lie in (0, 1]")
+    weights = (1.0 / (buffer_size * probs)) ** beta
+    if normalize:
+        weights = weights / weights.max()
+    return weights
+
+
+def locality_probabilities(
+    reference_probs: np.ndarray,
+    neighbor_counts: np.ndarray,
+    buffer_size: int,
+) -> np.ndarray:
+    """Effective per-row probabilities under locality-aware expansion.
+
+    When reference i (probability ``q_i`` of being drawn as a reference)
+    is expanded into ``n_i`` neighbors, each included row was reachable as
+    the neighbor of any of the ``n_i`` references covering it; to first
+    order each of the run's rows is sampled with probability
+
+        P(row) ~= q_i  (each run contributes n_i rows drawn because the
+                       single reference fired)
+
+    The *distribution over rows* therefore inherits the reference's
+    probability; this helper simply broadcasts q_i over its run and
+    validates shapes.  The uniform-reference special case collapses to
+    P = 1/buffer_size for every row, recovering w_i = 1 — i.e. plain
+    cache-aware sampling is unbiased in the Lemma-1 sense only under a
+    uniform reference distribution, which is why the paper pairs IS
+    weights with *prioritized* reference selection.
+    """
+    refs = np.asarray(reference_probs, dtype=np.float64)
+    counts = np.asarray(neighbor_counts, dtype=np.int64)
+    if refs.shape != counts.shape:
+        raise ValueError("reference_probs and neighbor_counts must align")
+    if np.any(counts <= 0):
+        raise ValueError("neighbor counts must be positive")
+    if buffer_size <= 0:
+        raise ValueError(f"buffer_size must be positive, got {buffer_size}")
+    return np.repeat(refs, counts)
+
+
+class BetaSchedule:
+    """Linear beta annealing from ``beta0`` to 1.0 over ``total_steps``.
+
+    PER anneals the compensation exponent toward full correction as
+    training converges; the trainers advance this schedule once per
+    update round.
+    """
+
+    def __init__(self, beta0: float = 0.4, total_steps: int = 100_000) -> None:
+        if not 0.0 <= beta0 <= 1.0:
+            raise ValueError(f"beta0 must be in [0, 1], got {beta0}")
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        self.beta0 = beta0
+        self.total_steps = total_steps
+        self.step_count = 0
+
+    @property
+    def value(self) -> float:
+        frac = min(1.0, self.step_count / self.total_steps)
+        return self.beta0 + (1.0 - self.beta0) * frac
+
+    def step(self) -> float:
+        """Advance one update round; returns the new beta."""
+        self.step_count += 1
+        return self.value

@@ -1,0 +1,80 @@
+"""Index-array construction for mini-batch sampling (paper Figure 5).
+
+The sampling phase is driven by a *common indices array*: reference
+points into the shared replay index space.  The baseline fills it with
+``B`` independent uniform draws; the cache-locality-aware sampler fills
+it with ``ref`` reference points each expanded into a *run* of ``n``
+consecutive indices (Algorithm 1's ``D[idx : idx + neighbors]``).
+
+Runs that would step past the valid region wrap modulo the region size,
+keeping the mini-batch size exact — an invariant property-tested in the
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Run", "expand_runs", "uniform_indices", "reference_points", "runs_from_references"]
+
+
+@dataclass(frozen=True)
+class Run:
+    """A contiguous index run ``[start, start + length)`` (pre-wraparound)."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"run start must be non-negative, got {self.start}")
+        if self.length <= 0:
+            raise ValueError(f"run length must be positive, got {self.length}")
+
+
+def uniform_indices(
+    rng: np.random.Generator, valid_size: int, batch_size: int
+) -> np.ndarray:
+    """Baseline: ``batch_size`` independent uniform indices (with replacement)."""
+    if valid_size <= 0:
+        raise ValueError(f"valid_size must be positive, got {valid_size}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return rng.integers(0, valid_size, size=batch_size)
+
+
+def reference_points(
+    rng: np.random.Generator, valid_size: int, num_refs: int
+) -> np.ndarray:
+    """Uniform reference points for locality-aware runs."""
+    return uniform_indices(rng, valid_size, num_refs)
+
+
+def runs_from_references(references: Sequence[int], neighbors: int) -> List[Run]:
+    """Turn reference points into fixed-length neighbor runs."""
+    if neighbors <= 0:
+        raise ValueError(f"neighbors must be positive, got {neighbors}")
+    return [Run(int(r), neighbors) for r in references]
+
+
+def expand_runs(runs: Sequence[Run], valid_size: int) -> np.ndarray:
+    """Flatten runs into a single index array, wrapping at ``valid_size``.
+
+    The result has ``sum(run.length)`` entries; every entry lies in
+    ``[0, valid_size)``.
+    """
+    if valid_size <= 0:
+        raise ValueError(f"valid_size must be positive, got {valid_size}")
+    if not runs:
+        raise ValueError("expand_runs requires at least one run")
+    parts: List[np.ndarray] = []
+    for run in runs:
+        if run.start >= valid_size:
+            raise IndexError(
+                f"run start {run.start} out of range [0, {valid_size})"
+            )
+        parts.append((run.start + np.arange(run.length)) % valid_size)
+    return np.concatenate(parts)

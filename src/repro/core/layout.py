@@ -1,0 +1,146 @@
+"""Transition-data layout reorganization (paper §IV-B2).
+
+The :class:`LayoutReorganizer` owns a timestep-major
+:class:`~repro.buffers.kv_layout.KVTransitionStore` kept in sync with an
+agent-major :class:`~repro.buffers.multi_agent.MultiAgentReplay`, and
+serves whole-round mini-batches for *all* agents with a single O(m) row
+gather instead of the baseline's O(N*m) scattered loops.
+
+Two synchronization modes reflect the cost structure of Figure 14:
+
+* ``mode="eager"`` — every joint insert is mirrored into the packed
+  store immediately (steady per-step cost, no bulk reshaping).
+* ``mode="lazy"`` — the packed store is rebuilt from the agent-major
+  buffers right before sampling whenever stale (bulk reshaping cost,
+  charged to ``reshape_floats``/``reshape_seconds``).
+
+The paper reports both views: sampling including reshaping (a slowdown
+at 3-6 agents, +25.8% at 24) and inter-agent sampling alone (1.36x-9.55x
+speedups), which the accessors here expose separately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..buffers.kv_layout import KVTransitionStore
+from ..buffers.multi_agent import MultiAgentReplay
+from .batch import AgentBatch, MiniBatch
+from .indices import uniform_indices
+
+__all__ = ["LayoutReorganizer"]
+
+_MODES = ("eager", "lazy")
+
+
+class LayoutReorganizer:
+    """Keep a timestep-major packed mirror of an agent-major replay."""
+
+    def __init__(
+        self,
+        replay: MultiAgentReplay,
+        mode: str = "lazy",
+        ingest: str = "block",
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if ingest not in ("block", "rowwise"):
+            raise ValueError(
+                f"ingest must be 'block' or 'rowwise', got {ingest!r}"
+            )
+        self.replay = replay
+        self.mode = mode
+        self.ingest_mode = ingest
+        self.store = KVTransitionStore(replay.capacity, replay.schema)
+        self._synced_through = 0  # joint inserts reflected in the store
+        self.reshape_floats = 0
+        self.reshape_seconds = 0.0
+        self.reorganizations = 0
+
+    # -- synchronization -------------------------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """True when the packed store lags the agent-major replay."""
+        return self._synced_through != len(self.replay) or len(self.store) != len(
+            self.replay
+        )
+
+    def notify_insert(
+        self,
+        obs: Sequence[np.ndarray],
+        act: Sequence[np.ndarray],
+        rew: Sequence[float],
+        next_obs: Sequence[np.ndarray],
+        done: Sequence[bool],
+    ) -> None:
+        """Mirror a joint insert (eager mode); no-op when lazy."""
+        if self.mode != "eager":
+            return
+        start = time.perf_counter()
+        self.store.append_joint(obs, act, rew, next_obs, done)
+        self.reshape_seconds += time.perf_counter() - start
+        self.reshape_floats += self.store.schema.width
+        self._synced_through = len(self.replay)
+
+    def reorganize(self) -> int:
+        """Bulk-rebuild the packed store from the agent-major buffers.
+
+        Returns floats moved.  Timing and volume are accumulated so
+        benches can report sampling cost with and without reshaping.
+        """
+        start = time.perf_counter()
+        if self.ingest_mode == "rowwise":
+            moved = self.store.ingest_rowwise(self.replay.buffers)
+        else:
+            moved = self.store.ingest(self.replay.buffers)
+        self.reshape_seconds += time.perf_counter() - start
+        self.reshape_floats += moved
+        self._synced_through = len(self.replay)
+        self.reorganizations += 1
+        return moved
+
+    def ensure_synced(self) -> None:
+        """Reorganize if needed (lazy mode's pre-sampling hook)."""
+        if self.stale:
+            self.reorganize()
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample_all_agents(
+        self,
+        rng: np.random.Generator,
+        batch_size: int,
+    ) -> MiniBatch:
+        """One O(m) packed-row gather serving every agent's mini-batch.
+
+        Replaces N independent sampler invocations per update round: the
+        common indices array is drawn once and each agent's fields are
+        sliced out of the already-gathered rows.
+        """
+        self.ensure_synced()
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if len(self.store) < batch_size:
+            raise ValueError(
+                f"store holds {len(self.store)} rows; need >= {batch_size}"
+            )
+        indices = uniform_indices(rng, len(self.store), batch_size)
+        per_agent = self.store.gather_all_agents(indices)
+        agents: List[AgentBatch] = [
+            AgentBatch.from_fields(per_agent[a]) for a in range(self.store.num_agents)
+        ]
+        return MiniBatch(agents=agents, indices=indices, weights=None, runs=[])
+
+    # -- accounting ---------------------------------------------------------------
+
+    def cost_summary(self) -> Dict[str, float]:
+        """Reshaping-cost counters for Figure-14-style reporting."""
+        return {
+            "reshape_floats": float(self.reshape_floats),
+            "reshape_seconds": self.reshape_seconds,
+            "reorganizations": float(self.reorganizations),
+        }

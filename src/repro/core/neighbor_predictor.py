@@ -1,0 +1,91 @@
+"""Neighbor-count predictor for information-prioritized sampling.
+
+Paper §IV-B1: "we employ a predictor to determine the optimal neighbors
+for the selected priority reference based on the normalized weight (0 to
+1) ... based on set threshold levels of granularity."  §VI-C1 pins the
+paper's configuration: priority < 0.33 → 1 neighbor (N1), 0.33-0.66 → 2
+neighbors (N2), > 0.66 → 4 neighbors (N3).
+
+Intuition: a high-priority (information-rich) reference justifies pulling
+more of its spatial neighborhood into the batch — the neighbors are both
+cheap to fetch (contiguous) and likely to be correlated with the
+important transition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ThresholdNeighborPredictor", "PAPER_THRESHOLDS", "PAPER_NEIGHBOR_COUNTS"]
+
+#: Paper §VI-C1 threshold levels (T1, T2).
+PAPER_THRESHOLDS = (0.33, 0.66)
+#: Paper §VI-C1 neighbor counts (N1, N2, N3) for the three priority bands.
+PAPER_NEIGHBOR_COUNTS = (1, 2, 4)
+
+
+class ThresholdNeighborPredictor:
+    """Piecewise-constant map: normalized priority -> neighbor count.
+
+    ``thresholds`` must be strictly increasing in (0, 1); ``counts`` has
+    one more entry than ``thresholds`` (one count per band).
+    """
+
+    def __init__(
+        self,
+        thresholds: Sequence[float] = PAPER_THRESHOLDS,
+        counts: Sequence[int] = PAPER_NEIGHBOR_COUNTS,
+    ) -> None:
+        thresholds = tuple(float(t) for t in thresholds)
+        counts = tuple(int(c) for c in counts)
+        if len(counts) != len(thresholds) + 1:
+            raise ValueError(
+                f"need len(counts) == len(thresholds) + 1, "
+                f"got {len(counts)} counts for {len(thresholds)} thresholds"
+            )
+        if any(t <= 0.0 or t >= 1.0 for t in thresholds):
+            raise ValueError(f"thresholds must lie in (0, 1), got {thresholds}")
+        if any(b <= a for a, b in zip(thresholds, thresholds[1:])):
+            raise ValueError(f"thresholds must be strictly increasing, got {thresholds}")
+        if any(c <= 0 for c in counts):
+            raise ValueError(f"neighbor counts must be positive, got {counts}")
+        self.thresholds = thresholds
+        self.counts = counts
+
+    def predict(self, normalized_priority: float) -> int:
+        """Neighbor count for one normalized priority in [0, 1]."""
+        p = float(normalized_priority)
+        if not 0.0 <= p <= 1.0 + 1e-9:
+            raise ValueError(f"normalized priority must be in [0, 1], got {p}")
+        for threshold, count in zip(self.thresholds, self.counts):
+            if p < threshold:
+                return count
+        return self.counts[-1]
+
+    def predict_batch(self, normalized_priorities: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict` over an array of priorities."""
+        p = np.asarray(normalized_priorities, dtype=np.float64)
+        if p.size and (p.min() < 0.0 or p.max() > 1.0 + 1e-9):
+            raise ValueError(
+                f"normalized priorities must be in [0, 1], "
+                f"got range [{p.min()}, {p.max()}]"
+            )
+        bands = np.digitize(p, self.thresholds)
+        return np.asarray(self.counts, dtype=np.int64)[bands]
+
+    @property
+    def max_count(self) -> int:
+        return max(self.counts)
+
+    def mean_count(self, priority_distribution: np.ndarray) -> float:
+        """Expected neighbors under an empirical priority distribution."""
+        return float(np.mean(self.predict_batch(priority_distribution)))
+
+    def bands(self) -> Tuple[Tuple[float, float, int], ...]:
+        """(low, high, count) description of each priority band."""
+        edges = (0.0, *self.thresholds, 1.0)
+        return tuple(
+            (edges[i], edges[i + 1], self.counts[i]) for i in range(len(self.counts))
+        )

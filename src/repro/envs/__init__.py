@@ -1,0 +1,55 @@
+"""Multi-agent particle environment substrate (MPE reimplementation).
+
+Rebuilds OpenAI's multiagent-particle-envs from scratch: a 2-D physics
+world, the paper's two tasks (Predator-Prey / ``simple_tag`` and
+Cooperative Navigation / ``simple_spread``), scripted flee-policy prey,
+and a Gym-style multi-agent API.  Observation dimensions match the
+paper's quoted spaces (PP-3: Box(16)/Box(14); CN-N: Box(6N)).
+"""
+
+from .core import Action, Agent, AgentState, Entity, EntityState, Landmark, World, is_collision
+from .environment import NUM_MOVEMENT_ACTIONS, MultiAgentEnv
+from .prey_policy import FleePolicy, make_prey_callback
+from .registry import available_envs, make, register
+from .render import render_episode_frame, render_world
+from .scenario import BaseScenario
+from .scenarios.cooperative_navigation import CooperativeNavigationScenario
+from .scenarios.keep_away import KeepAwayScenario
+from .scenarios.physical_deception import PhysicalDeceptionScenario
+from .scenarios.predator_prey import PredatorPreyScenario, default_prey_counts
+from .spaces import Box, Discrete
+from .vector import SyncVectorEnv
+from .wrappers import EnvWrapper, EpisodeStatistics, NormalizeObservations, ScaleRewards
+
+__all__ = [
+    "World",
+    "Agent",
+    "Landmark",
+    "Entity",
+    "EntityState",
+    "AgentState",
+    "Action",
+    "is_collision",
+    "MultiAgentEnv",
+    "NUM_MOVEMENT_ACTIONS",
+    "BaseScenario",
+    "PredatorPreyScenario",
+    "CooperativeNavigationScenario",
+    "PhysicalDeceptionScenario",
+    "KeepAwayScenario",
+    "render_world",
+    "render_episode_frame",
+    "default_prey_counts",
+    "FleePolicy",
+    "make_prey_callback",
+    "Box",
+    "Discrete",
+    "make",
+    "register",
+    "available_envs",
+    "SyncVectorEnv",
+    "EnvWrapper",
+    "NormalizeObservations",
+    "ScaleRewards",
+    "EpisodeStatistics",
+]

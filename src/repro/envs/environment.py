@@ -1,0 +1,174 @@
+"""Multi-agent environment wrapper over the particle-world physics core.
+
+Provides the Gym-style ``reset() -> obs_list`` / ``step(actions) ->
+(obs, rewards, dones, infos)`` API the MARL trainers consume.  Only
+*policy* agents (those without a scripted ``action_callback``) appear in
+the per-agent lists; scripted prey are driven internally by the world.
+
+Actions are the MPE 5-way discrete movement set.  Both plain integer
+actions and (soft) one-hot vectors are accepted: MADDPG emits relaxed
+one-hot actions during training, so the force mapping
+``u = (a[1] - a[2], a[3] - a[4]) * sensitivity`` is applied to the vector
+form directly, as in the reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .core import Agent, World
+from .prey_policy import make_prey_callback
+from .scenario import BaseScenario
+from .scenarios.predator_prey import PredatorPreyScenario
+from .spaces import Box, Discrete
+
+__all__ = ["MultiAgentEnv", "NUM_MOVEMENT_ACTIONS"]
+
+#: MPE movement actions: no-op, +x, -x, +y, -y (paper §II-B).
+NUM_MOVEMENT_ACTIONS = 5
+
+ActionLike = Union[int, np.integer, Sequence[float], np.ndarray]
+
+
+class MultiAgentEnv:
+    """Gym-style multi-agent particle environment.
+
+    Parameters
+    ----------
+    scenario:
+        Task definition (predator-prey, cooperative navigation, ...).
+    max_episode_len:
+        Horizon in steps; the paper uses 25.
+    seed:
+        Seeds both world resets and any stochastic scenario elements.
+    script_prey:
+        For competitive scenarios, attach the flee policy to every
+        non-adversary agent so they are environment-controlled, matching
+        the paper's setup.
+    shared_reward:
+        Force reward sharing (cooperative scenarios already share via the
+        scenario's reward definition; this additionally averages).
+    """
+
+    def __init__(
+        self,
+        scenario: BaseScenario,
+        max_episode_len: int = 25,
+        seed: Optional[int] = None,
+        script_prey: bool = True,
+        shared_reward: bool = False,
+    ) -> None:
+        if max_episode_len <= 0:
+            raise ValueError(f"max_episode_len must be positive, got {max_episode_len}")
+        self.scenario = scenario
+        self.max_episode_len = max_episode_len
+        self.shared_reward = shared_reward
+        self._rng = np.random.default_rng(seed)
+        self.world: World = scenario.make_world(self._rng)
+        if script_prey and isinstance(scenario, PredatorPreyScenario):
+            callback = make_prey_callback()
+            for agent in self.world.agents:
+                if not agent.adversary:
+                    agent.action_callback = callback
+        self.agents: List[Agent] = self.world.policy_agents
+        if not self.agents:
+            raise ValueError("environment has no policy agents to control")
+        self._steps = 0
+        self.observation_space: List[Box] = []
+        self.action_space: List[Discrete] = []
+        for agent in self.agents:
+            obs = scenario.observation(agent, self.world)
+            self.observation_space.append(Box(-np.inf, np.inf, (obs.shape[0],)))
+            self.action_space.append(Discrete(NUM_MOVEMENT_ACTIONS))
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def num_agents(self) -> int:
+        """Number of learning agents (paper's N)."""
+        return len(self.agents)
+
+    @property
+    def obs_dims(self) -> List[int]:
+        return [space.dim for space in self.observation_space]
+
+    @property
+    def act_dims(self) -> List[int]:
+        return [space.n for space in self.action_space]
+
+    # -- Gym API --------------------------------------------------------------
+
+    def seed(self, seed: Optional[int]) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> List[np.ndarray]:
+        """Re-randomize the world; returns the per-agent observation list."""
+        self._steps = 0
+        self.scenario.reset_world(self.world, self._rng)
+        return self._observations()
+
+    def step(self, actions: Sequence[ActionLike]):
+        """Apply one action per policy agent and advance the world.
+
+        Returns ``(obs_list, reward_list, done_list, info)``.  ``done`` is
+        per-agent and set when the horizon is reached or the scenario
+        signals termination.
+        """
+        if len(actions) != len(self.agents):
+            raise ValueError(
+                f"expected {len(self.agents)} actions, got {len(actions)}"
+            )
+        for agent, action in zip(self.agents, actions):
+            self._set_action(agent, action)
+        self.world.step()
+        self._steps += 1
+
+        obs = self._observations()
+        rewards = [float(self.scenario.reward(a, self.world)) for a in self.agents]
+        if self.shared_reward:
+            mean_reward = float(np.mean(rewards))
+            rewards = [mean_reward] * len(rewards)
+        horizon = self._steps >= self.max_episode_len
+        dones = [horizon or self.scenario.done(a, self.world) for a in self.agents]
+        info: Dict[str, list] = {
+            "n": [self.scenario.benchmark_data(a, self.world) for a in self.agents]
+        }
+        return obs, rewards, dones, info
+
+    # -- internals ----------------------------------------------------------
+
+    def _observations(self) -> List[np.ndarray]:
+        return [
+            np.asarray(self.scenario.observation(a, self.world), dtype=np.float64)
+            for a in self.agents
+        ]
+
+    def _set_action(self, agent: Agent, action: ActionLike) -> None:
+        """Map a discrete index or (soft) one-hot vector to a force."""
+        sensitivity = agent.accel if agent.accel is not None else 5.0
+        u = np.zeros(self.world.dim_p)
+        if isinstance(action, (int, np.integer)):
+            idx = int(action)
+            if not 0 <= idx < NUM_MOVEMENT_ACTIONS:
+                raise ValueError(f"discrete action {idx} out of range [0, 5)")
+            if idx == 1:
+                u[0] = +1.0
+            elif idx == 2:
+                u[0] = -1.0
+            elif idx == 3:
+                u[1] = +1.0
+            elif idx == 4:
+                u[1] = -1.0
+        else:
+            vec = np.asarray(action, dtype=np.float64).ravel()
+            if vec.shape[0] != NUM_MOVEMENT_ACTIONS:
+                raise ValueError(
+                    f"action vector must have {NUM_MOVEMENT_ACTIONS} entries, "
+                    f"got {vec.shape[0]}"
+                )
+            u[0] = vec[1] - vec[2]
+            u[1] = vec[3] - vec[4]
+        agent.action.u = u * sensitivity
+        agent.action.c = np.zeros(self.world.dim_c)

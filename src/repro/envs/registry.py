@@ -1,0 +1,125 @@
+"""Environment registry: ``make("predator_prey", num_agents=6)``.
+
+Canonical names match the paper's terminology; MPE aliases
+(``simple_tag``, ``simple_spread``) are accepted for familiarity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .environment import MultiAgentEnv
+from .scenarios.cooperative_navigation import CooperativeNavigationScenario
+from .scenarios.keep_away import KeepAwayScenario
+from .scenarios.physical_deception import PhysicalDeceptionScenario
+from .scenarios.predator_prey import PredatorPreyScenario
+
+__all__ = ["make", "register", "available_envs"]
+
+
+def _make_predator_prey(num_agents: int, seed: Optional[int], **kwargs) -> MultiAgentEnv:
+    shaped = kwargs.pop("shaped", True)
+    num_prey = kwargs.pop("num_prey", None)
+    num_landmarks = kwargs.pop("num_landmarks", None)
+    max_episode_len = kwargs.pop("max_episode_len", 25)
+    if kwargs:
+        raise TypeError(f"unexpected predator_prey options: {sorted(kwargs)}")
+    scenario = PredatorPreyScenario(
+        num_predators=num_agents,
+        num_prey=num_prey,
+        num_landmarks=num_landmarks,
+        shaped=shaped,
+    )
+    return MultiAgentEnv(
+        scenario, max_episode_len=max_episode_len, seed=seed, script_prey=True
+    )
+
+
+def _make_cooperative_navigation(
+    num_agents: int, seed: Optional[int], **kwargs
+) -> MultiAgentEnv:
+    num_landmarks = kwargs.pop("num_landmarks", None)
+    collision_penalty = kwargs.pop("collision_penalty", 1.0)
+    max_episode_len = kwargs.pop("max_episode_len", 25)
+    if kwargs:
+        raise TypeError(f"unexpected cooperative_navigation options: {sorted(kwargs)}")
+    scenario = CooperativeNavigationScenario(
+        num_agents=num_agents,
+        num_landmarks=num_landmarks,
+        collision_penalty=collision_penalty,
+    )
+    return MultiAgentEnv(scenario, max_episode_len=max_episode_len, seed=seed)
+
+
+def _make_physical_deception(
+    num_agents: int, seed: Optional[int], **kwargs
+) -> MultiAgentEnv:
+    """num_agents counts the cooperating (good) agents; one adversary added."""
+    num_adversaries = kwargs.pop("num_adversaries", 1)
+    num_landmarks = kwargs.pop("num_landmarks", max(2, num_agents))
+    max_episode_len = kwargs.pop("max_episode_len", 25)
+    if kwargs:
+        raise TypeError(f"unexpected physical_deception options: {sorted(kwargs)}")
+    scenario = PhysicalDeceptionScenario(
+        num_good=num_agents,
+        num_adversaries=num_adversaries,
+        num_landmarks=num_landmarks,
+    )
+    return MultiAgentEnv(scenario, max_episode_len=max_episode_len, seed=seed)
+
+
+def _make_keep_away(num_agents: int, seed: Optional[int], **kwargs) -> MultiAgentEnv:
+    """num_agents counts the cooperating (good) agents; one adversary added."""
+    num_adversaries = kwargs.pop("num_adversaries", 1)
+    num_landmarks = kwargs.pop("num_landmarks", 2)
+    max_episode_len = kwargs.pop("max_episode_len", 25)
+    if kwargs:
+        raise TypeError(f"unexpected keep_away options: {sorted(kwargs)}")
+    scenario = KeepAwayScenario(
+        num_good=num_agents,
+        num_adversaries=num_adversaries,
+        num_landmarks=num_landmarks,
+    )
+    return MultiAgentEnv(scenario, max_episode_len=max_episode_len, seed=seed)
+
+
+_REGISTRY: Dict[str, Callable[..., MultiAgentEnv]] = {
+    "predator_prey": _make_predator_prey,
+    "simple_tag": _make_predator_prey,
+    "cooperative_navigation": _make_cooperative_navigation,
+    "simple_spread": _make_cooperative_navigation,
+    "physical_deception": _make_physical_deception,
+    "simple_adversary": _make_physical_deception,
+    "keep_away": _make_keep_away,
+    "simple_push": _make_keep_away,
+}
+
+
+def register(name: str, factory: Callable[..., MultiAgentEnv]) -> None:
+    """Register a custom scenario factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"environment {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_envs() -> list:
+    """Sorted list of registered environment names."""
+    return sorted(_REGISTRY)
+
+
+def make(name: str, num_agents: int = 3, seed: Optional[int] = None, **kwargs) -> MultiAgentEnv:
+    """Instantiate a registered environment.
+
+    ``num_agents`` is the number of *learning* agents (the paper's N): the
+    predator count in predator-prey, the full agent count in cooperative
+    navigation.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown environment {name!r}; available: {available_envs()}"
+        ) from None
+    if num_agents < 1:
+        raise ValueError(f"num_agents must be >= 1, got {num_agents}")
+    return factory(num_agents, seed, **kwargs)

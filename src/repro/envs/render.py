@@ -1,0 +1,63 @@
+"""ASCII rendering of the particle world (debug/demo aid).
+
+``render_world(world)`` draws agents and landmarks on a character grid:
+predators/adversaries as ``P``, other agents as lowercase letters,
+landmarks as ``#``.  Useful for eyeballing learned behaviour in a
+terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core import World
+
+__all__ = ["render_world", "render_episode_frame"]
+
+
+def render_world(
+    world: World,
+    width: int = 49,
+    height: int = 25,
+    extent: float = 1.4,
+) -> str:
+    """Draw the world state as an ASCII grid spanning [-extent, extent]^2."""
+    if width < 5 or height < 5:
+        raise ValueError("grid must be at least 5x5")
+    if extent <= 0:
+        raise ValueError(f"extent must be positive, got {extent}")
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, char: str) -> None:
+        col = int((x + extent) / (2 * extent) * (width - 1))
+        row = int((extent - y) / (2 * extent) * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = char
+
+    for landmark in world.landmarks:
+        place(float(landmark.state.p_pos[0]), float(landmark.state.p_pos[1]), "#")
+    good_index = 0
+    for agent in world.agents:
+        x, y = float(agent.state.p_pos[0]), float(agent.state.p_pos[1])
+        if agent.adversary:
+            place(x, y, "P")
+        else:
+            place(x, y, chr(ord("a") + good_index % 26))
+            good_index += 1
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def render_episode_frame(
+    world: World,
+    step: int,
+    rewards: Optional[List[float]] = None,
+    **kwargs,
+) -> str:
+    """Render with a step header and optional per-agent rewards footer."""
+    lines = [f"step {step}", render_world(world, **kwargs)]
+    if rewards is not None:
+        formatted = ", ".join(f"{r:+.2f}" for r in rewards)
+        lines.append(f"rewards: [{formatted}]")
+    return "\n".join(lines)

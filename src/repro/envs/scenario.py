@@ -1,0 +1,49 @@
+"""Scenario interface: world construction, resets, rewards, observations.
+
+A scenario owns the task definition on top of the physics core — which
+entities exist, how they are reset, what each agent observes, and what it
+is rewarded for.  The two paper scenarios (predator-prey / cooperative
+navigation) subclass this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .core import Agent, World
+
+__all__ = ["BaseScenario"]
+
+
+class BaseScenario:
+    """Abstract scenario; concrete tasks implement the five hooks below."""
+
+    def make_world(self, rng: np.random.Generator) -> World:
+        """Construct the world with all entities (called once)."""
+        raise NotImplementedError
+
+    def reset_world(self, world: World, rng: np.random.Generator) -> None:
+        """Re-randomize entity states at the start of each episode."""
+        raise NotImplementedError
+
+    def reward(self, agent: Agent, world: World) -> float:
+        """Scalar reward for one agent at the current world state."""
+        raise NotImplementedError
+
+    def observation(self, agent: Agent, world: World) -> np.ndarray:
+        """Observation feature vector for one agent."""
+        raise NotImplementedError
+
+    def done(self, agent: Agent, world: World) -> bool:
+        """Episode-termination flag for one agent (MPE default: never).
+
+        MPE episodes end only on the ``max_episode_len`` horizon (paper
+        uses 25 steps); scenarios may override for early termination.
+        """
+        return False
+
+    def benchmark_data(self, agent: Agent, world: World) -> Optional[dict]:
+        """Optional per-step diagnostics (collision counts, distances)."""
+        return None

@@ -1,0 +1,14 @@
+"""Concrete scenarios: the paper's competitive and cooperative tasks."""
+
+from .cooperative_navigation import CooperativeNavigationScenario
+from .keep_away import KeepAwayScenario
+from .physical_deception import PhysicalDeceptionScenario
+from .predator_prey import PredatorPreyScenario, default_prey_counts
+
+__all__ = [
+    "PredatorPreyScenario",
+    "CooperativeNavigationScenario",
+    "PhysicalDeceptionScenario",
+    "KeepAwayScenario",
+    "default_prey_counts",
+]

@@ -1,0 +1,88 @@
+"""Minimal observation/action space types (Gym-compatible subset).
+
+Only the two space kinds the paper's environments need are provided:
+``Box`` for continuous observation vectors (e.g. Box(16,) predator
+observations) and ``Discrete`` for the 5-way MPE action space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Box", "Discrete"]
+
+
+class Box:
+    """A continuous space of shape ``shape`` bounded by [low, high]."""
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        shape: Tuple[int, ...],
+        dtype: type = np.float64,
+    ) -> None:
+        if low > high:
+            raise ValueError(f"Box low {low} exceeds high {high}")
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"Box shape must be positive, got {shape}")
+        self.low = float(low)
+        self.high = float(high)
+        self.shape = tuple(shape)
+        self.dtype = dtype
+
+    @property
+    def dim(self) -> int:
+        """Flattened dimensionality (the paper quotes e.g. Box(16,) → 16)."""
+        return int(np.prod(self.shape))
+
+    def contains(self, x: np.ndarray) -> bool:
+        x = np.asarray(x)
+        return (
+            x.shape == self.shape
+            and bool(np.all(x >= self.low - 1e-9))
+            and bool(np.all(x <= self.high + 1e-9))
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        lo = max(self.low, -1e3)
+        hi = min(self.high, 1e3)
+        return rng.uniform(lo, hi, size=self.shape).astype(self.dtype)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Box)
+            and self.low == other.low
+            and self.high == other.high
+            and self.shape == other.shape
+        )
+
+    def __repr__(self) -> str:
+        return f"Box({self.shape},)" if len(self.shape) == 1 else f"Box{self.shape}"
+
+
+class Discrete:
+    """A finite space {0, 1, ..., n-1}; MPE uses n = 5 movement actions."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"Discrete size must be positive, got {n}")
+        self.n = int(n)
+
+    def contains(self, x: object) -> bool:
+        try:
+            xi = int(x)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        return 0 <= xi < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.n))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Discrete) and self.n == other.n
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"

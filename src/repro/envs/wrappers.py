@@ -1,0 +1,153 @@
+"""Composable environment wrappers.
+
+Standard RL-library conveniences over :class:`MultiAgentEnv`, each
+preserving the Gym-style API so wrappers stack:
+
+* :class:`NormalizeObservations` — per-agent running standardization
+  (uses :class:`repro.nn.normalizer.RunningNormalizer`).
+* :class:`ScaleRewards` — constant reward scaling/clipping.
+* :class:`EpisodeStatistics` — rolling per-episode return/length stats
+  exposed in ``info``.
+
+Wrappers delegate every attribute they don't override, so trainer code
+that reads ``env.obs_dims`` / ``env.num_agents`` works unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.normalizer import RunningNormalizer
+from .environment import MultiAgentEnv
+
+__all__ = ["EnvWrapper", "NormalizeObservations", "ScaleRewards", "EpisodeStatistics"]
+
+
+class EnvWrapper:
+    """Base wrapper: delegates everything to the wrapped environment."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+
+    def reset(self):
+        return self.env.reset()
+
+    def step(self, actions):
+        return self.env.step(actions)
+
+    def __getattr__(self, name):
+        # only called for attributes not found on the wrapper itself
+        return getattr(self.env, name)
+
+    @property
+    def unwrapped(self) -> MultiAgentEnv:
+        env = self.env
+        while isinstance(env, EnvWrapper):
+            env = env.env
+        return env
+
+
+class NormalizeObservations(EnvWrapper):
+    """Standardize each agent's observations with running statistics.
+
+    Statistics update on every reset/step observation; call
+    :meth:`freeze` for evaluation so the transform stops drifting.
+    """
+
+    def __init__(self, env, clip: float = 10.0) -> None:
+        super().__init__(env)
+        self.normalizers: List[RunningNormalizer] = [
+            RunningNormalizer(dim, clip=clip) for dim in env.obs_dims
+        ]
+
+    def _transform(self, obs_list):
+        return [
+            norm(np.asarray(obs)[None, :])[0]
+            for norm, obs in zip(self.normalizers, obs_list)
+        ]
+
+    def reset(self):
+        return self._transform(self.env.reset())
+
+    def step(self, actions):
+        obs, rewards, dones, info = self.env.step(actions)
+        return self._transform(obs), rewards, dones, info
+
+    def freeze(self) -> None:
+        for norm in self.normalizers:
+            norm.freeze()
+
+    def unfreeze(self) -> None:
+        for norm in self.normalizers:
+            norm.unfreeze()
+
+
+class ScaleRewards(EnvWrapper):
+    """Multiply rewards by ``scale`` and optionally clip to ±``clip``."""
+
+    def __init__(self, env, scale: float = 1.0, clip: Optional[float] = None) -> None:
+        super().__init__(env)
+        if scale == 0.0:
+            raise ValueError("reward scale of 0 would erase the learning signal")
+        if clip is not None and clip <= 0:
+            raise ValueError(f"clip must be positive, got {clip}")
+        self.scale = scale
+        self.clip = clip
+
+    def step(self, actions):
+        obs, rewards, dones, info = self.env.step(actions)
+        scaled = [r * self.scale for r in rewards]
+        if self.clip is not None:
+            scaled = [float(np.clip(r, -self.clip, self.clip)) for r in scaled]
+        return obs, scaled, dones, info
+
+
+class EpisodeStatistics(EnvWrapper):
+    """Track rolling episode returns/lengths; report them in ``info``.
+
+    On the step that terminates an episode, ``info["episode"]`` holds
+    ``{"return": float, "length": int}`` (summed over agents).
+    """
+
+    def __init__(self, env, window: int = 100) -> None:
+        super().__init__(env)
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.returns: Deque[float] = deque(maxlen=window)
+        self.lengths: Deque[int] = deque(maxlen=window)
+        self._running_return = 0.0
+        self._running_length = 0
+
+    def reset(self):
+        self._running_return = 0.0
+        self._running_length = 0
+        return self.env.reset()
+
+    def step(self, actions):
+        obs, rewards, dones, info = self.env.step(actions)
+        self._running_return += float(np.sum(rewards))
+        self._running_length += 1
+        if all(dones):
+            self.returns.append(self._running_return)
+            self.lengths.append(self._running_length)
+            info = dict(info)
+            info["episode"] = {
+                "return": self._running_return,
+                "length": self._running_length,
+            }
+        return obs, rewards, dones, info
+
+    @property
+    def mean_return(self) -> float:
+        if not self.returns:
+            raise ValueError("no completed episodes recorded")
+        return float(np.mean(self.returns))
+
+    @property
+    def mean_length(self) -> float:
+        if not self.lengths:
+            raise ValueError("no completed episodes recorded")
+        return float(np.mean(self.lengths))

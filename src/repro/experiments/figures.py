@@ -1,0 +1,141 @@
+"""Paper-format table/series builders.
+
+Each helper turns measured :class:`RunResult`s (or microbench timings)
+into the exact rows/series the corresponding paper exhibit reports, with
+a ``render()`` that prints them in bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..memsim.report import reduction_percent
+from ..profiling.breakdown import (
+    end_to_end_breakdown,
+    update_breakdown,
+)
+from ..profiling.timers import PhaseTimer
+from ..training.results import RunResult
+from .workloads import PAPER_EPISODES
+
+__all__ = [
+    "Table1Row",
+    "table1_rows",
+    "breakdown_row",
+    "ReductionRow",
+    "reduction_rows",
+    "render_rows",
+]
+
+
+def _timer_from(result: RunResult) -> PhaseTimer:
+    timer = PhaseTimer()
+    for key, value in result.phase_totals.items():
+        timer.add(key, value)
+    return timer
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One Table-I row: measured seconds + extrapolation to 60k episodes."""
+
+    env_name: str
+    algorithm: str
+    num_agents: int
+    episodes: int
+    measured_seconds: float
+    extrapolated_60k_seconds: float
+
+    def render(self) -> str:
+        return (
+            f"{self.env_name:<26} {self.algorithm:<8} N={self.num_agents:<3} "
+            f"{self.episodes:>6} eps -> {self.measured_seconds:>9.2f}s "
+            f"(60k-eps projection: {self.extrapolated_60k_seconds:>12.1f}s)"
+        )
+
+
+def table1_rows(results: Sequence[RunResult]) -> List[Table1Row]:
+    """Table I: end-to-end training times per algorithm/env/N."""
+    rows = []
+    for r in results:
+        rows.append(
+            Table1Row(
+                env_name=r.env_name,
+                algorithm=r.algorithm,
+                num_agents=r.num_agents,
+                episodes=r.episodes,
+                measured_seconds=r.total_seconds,
+                extrapolated_60k_seconds=r.extrapolate_seconds(PAPER_EPISODES),
+            )
+        )
+    return rows
+
+
+def breakdown_row(result: RunResult) -> Dict[str, float]:
+    """Figure 2 + Figure 3 percentages for one run."""
+    timer = _timer_from(result)
+    e2e = end_to_end_breakdown(timer, result.total_seconds)
+    upd = update_breakdown(timer)
+    row = e2e.as_dict()
+    row.update(upd.as_dict())
+    return row
+
+
+@dataclass(frozen=True)
+class ReductionRow:
+    """One bar of a Figure 8/9/12/13/14-style reduction chart."""
+
+    label: str
+    num_agents: int
+    baseline_seconds: float
+    optimized_seconds: float
+
+    @property
+    def reduction_pct(self) -> float:
+        """Positive = faster than baseline (paper's convention)."""
+        return reduction_percent(self.baseline_seconds, self.optimized_seconds)
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0:
+            raise ValueError("optimized time must be positive")
+        return self.baseline_seconds / self.optimized_seconds
+
+    def render(self) -> str:
+        return (
+            f"{self.label:<36} N={self.num_agents:<3} "
+            f"baseline {self.baseline_seconds * 1e3:>9.2f}ms  "
+            f"optimized {self.optimized_seconds * 1e3:>9.2f}ms  "
+            f"reduction {self.reduction_pct:>7.2f}%  "
+            f"speedup {self.speedup:>5.2f}x"
+        )
+
+
+def reduction_rows(
+    label: str,
+    baseline_by_n: Mapping[int, float],
+    optimized_by_n: Mapping[int, float],
+) -> List[ReductionRow]:
+    """Pair baseline/optimized timings per agent count into rows."""
+    missing = set(baseline_by_n) ^ set(optimized_by_n)
+    if missing:
+        raise ValueError(f"agent counts differ between series: {sorted(missing)}")
+    return [
+        ReductionRow(
+            label=label,
+            num_agents=n,
+            baseline_seconds=baseline_by_n[n],
+            optimized_seconds=optimized_by_n[n],
+        )
+        for n in sorted(baseline_by_n)
+    ]
+
+
+def render_rows(title: str, rows: Sequence, paper_note: Optional[str] = None) -> str:
+    """Assemble a printable exhibit block."""
+    lines = [f"== {title} =="]
+    if paper_note:
+        lines.append(f"   (paper: {paper_note})")
+    lines.extend(f"   {row.render()}" for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Virtual-address models of the replay-buffer storage layouts.
+
+To replay a sampler's accesses through the cache model we need the byte
+addresses the gather loop touches.  The maps below mirror how the actual
+numpy storage is laid out:
+
+* **Agent-major** (baseline :class:`~repro.buffers.replay.ReplayBuffer`):
+  each agent owns five distinct field arrays (obs/act/rew/next_obs/done),
+  each a separate contiguous allocation.  Reading row ``i`` of agent
+  ``k`` touches one small range in each of agent k's five arrays —
+  ranges that are *far apart* in the address space, and far from every
+  other agent's arrays.
+* **Timestep-major** (:class:`~repro.buffers.kv_layout.KVTransitionStore`):
+  a single packed array; reading row ``i`` touches one contiguous range
+  covering every agent's data for that timestep.
+
+Regions are spaced on 1 GiB boundaries so distinct arrays never share
+pages, matching large separately-allocated numpy buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..buffers.transition import FLOAT_BYTES, JointSchema
+
+__all__ = ["Region", "AgentMajorAddressMap", "TimestepMajorAddressMap"]
+
+#: Spacing between separately allocated arrays.
+REGION_STRIDE = 1 << 30
+
+#: Per-region base offset decorrelating cache-set alignment.  Real
+#: allocator bases land at effectively random set indices; without this
+#: stagger every region's row 0 would alias into cache set 0, creating
+#: conflict misses no real buffer layout exhibits.
+REGION_STAGGER = 65 * 64  # 65 cache lines: co-prime with power-of-two set counts
+
+_FIELD_WIDTHS = ("obs", "act", "rew", "next_obs", "done")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous array allocation: base address + row geometry."""
+
+    base: int
+    row_bytes: int
+    rows: int
+
+    def row_range(self, row: int) -> Tuple[int, int]:
+        """(start, end) byte addresses of one row."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        start = self.base + row * self.row_bytes
+        return start, start + self.row_bytes
+
+
+def _line_addresses(start: int, end: int, line_bytes: int) -> Iterator[int]:
+    """Cache-line-granular demand addresses covering [start, end)."""
+    addr = start & ~(line_bytes - 1)
+    while addr < end:
+        yield addr
+        addr += line_bytes
+
+
+class AgentMajorAddressMap:
+    """Address model of N per-agent replay buffers (5 field arrays each)."""
+
+    def __init__(self, schema: JointSchema, capacity: int, line_bytes: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.schema = schema
+        self.capacity = capacity
+        self.line_bytes = line_bytes
+        self.regions: List[List[Region]] = []
+        next_base = REGION_STRIDE  # leave page 0 unmapped
+        region_index = 0
+        for agent_schema in schema.agents:
+            widths = (
+                agent_schema.obs_dim,
+                agent_schema.act_dim,
+                1,
+                agent_schema.obs_dim,
+                1,
+            )
+            fields: List[Region] = []
+            for width in widths:
+                base = next_base + region_index * REGION_STAGGER
+                fields.append(
+                    Region(base=base, row_bytes=width * FLOAT_BYTES, rows=capacity)
+                )
+                next_base += REGION_STRIDE
+                region_index += 1
+            self.regions.append(fields)
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.regions)
+
+    def row_addresses(self, agent_idx: int, row: int) -> Iterator[int]:
+        """Line addresses touched when gathering one row of one agent."""
+        for region in self.regions[agent_idx]:
+            start, end = region.row_range(row)
+            yield from _line_addresses(start, end, self.line_bytes)
+
+    def gather_addresses(
+        self, agent_order: Sequence[int], rows: Sequence[int]
+    ) -> Iterator[int]:
+        """Full gather trace: for each agent (outer), each row (inner).
+
+        Mirrors the baseline loop structure of Figure 5 / Algorithm 1:
+        ``for agent in agents: for idx in MB_idx: read D_agent[idx]``.
+        """
+        for agent_idx in agent_order:
+            for row in rows:
+                yield from self.row_addresses(agent_idx, int(row))
+
+    def bytes_per_row(self, agent_idx: int) -> int:
+        return sum(r.row_bytes for r in self.regions[agent_idx])
+
+
+class TimestepMajorAddressMap:
+    """Address model of the packed key-value store (layout reorganization)."""
+
+    def __init__(self, schema: JointSchema, capacity: int, line_bytes: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.schema = schema
+        self.capacity = capacity
+        self.line_bytes = line_bytes
+        self.region = Region(
+            base=REGION_STRIDE, row_bytes=schema.width * FLOAT_BYTES, rows=capacity
+        )
+
+    def row_addresses(self, row: int) -> Iterator[int]:
+        """Line addresses touched when reading one packed joint row."""
+        start, end = self.region.row_range(row)
+        yield from _line_addresses(start, end, self.line_bytes)
+
+    def gather_addresses(self, rows: Sequence[int]) -> Iterator[int]:
+        """The O(m) loop: one packed row per index, all agents served."""
+        for row in rows:
+            yield from self.row_addresses(int(row))
+
+    def bytes_per_row(self) -> int:
+        return self.region.row_bytes

@@ -1,0 +1,140 @@
+"""Set-associative cache model with LRU replacement.
+
+A deterministic stand-in for the hardware caches the paper profiles with
+``perf``: the reproduction replays the samplers' actual address streams
+through this model to measure hit/miss behaviour of the baseline versus
+locality-aware access patterns.
+
+The model is intentionally classic — physical indexing, LRU within a
+set, allocate-on-miss — because the phenomena under study (random
+gathers thrash; sequential runs hit after the first line; a stride
+prefetcher hides sequential misses) are first-order properties any such
+cache exhibits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache"]
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ValueError(f"line size must be a power of two, got {self.line_bytes}")
+        if self.size_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ValueError(
+                f"cache size {self.size_bytes} must be a positive multiple of "
+                f"the line size {self.line_bytes}"
+            )
+        lines = self.size_bytes // self.line_bytes
+        if self.associativity <= 0 or lines % self.associativity:
+            raise ValueError(
+                f"associativity {self.associativity} must divide the line count {lines}"
+            )
+        if not _is_pow2(lines // self.associativity):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0  # demand hits on prefetched lines
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_fills = 0
+        self.prefetch_hits = 0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 64-bit byte addresses."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        # each set: OrderedDict tag -> was_prefetched (LRU order = insertion order)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+
+    def _locate(self, address: int):
+        line = address >> self._line_shift
+        return self._sets[line & self._set_mask], line
+
+    def access(self, address: int) -> bool:
+        """Demand access; returns True on hit.  Misses allocate the line."""
+        target_set, tag = self._locate(address)
+        self.stats.accesses += 1
+        if tag in target_set:
+            if target_set.pop(tag):
+                self.stats.prefetch_hits += 1
+            target_set[tag] = False  # move to MRU, now demand-touched
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._fill(target_set, tag, prefetched=False)
+        return False
+
+    def prefetch(self, address: int) -> bool:
+        """Fill a line without a demand access; returns True if newly filled."""
+        target_set, tag = self._locate(address)
+        if tag in target_set:
+            return False
+        self._fill(target_set, tag, prefetched=True)
+        self.stats.prefetch_fills += 1
+        return True
+
+    def contains(self, address: int) -> bool:
+        """Presence check without touching LRU order or counters."""
+        target_set, tag = self._locate(address)
+        return tag in target_set
+
+    def _fill(self, target_set: OrderedDict, tag: int, prefetched: bool) -> None:
+        if len(target_set) >= self.config.associativity:
+            target_set.popitem(last=False)  # evict LRU
+        target_set[tag] = prefetched
+
+    def flush(self) -> None:
+        """Invalidate all lines (counters preserved)."""
+        for s in self._sets:
+            s.clear()
+
+    def reset(self) -> None:
+        """Flush and zero counters."""
+        self.flush()
+        self.stats.reset()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

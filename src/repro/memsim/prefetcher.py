@@ -1,0 +1,110 @@
+"""Multi-stream stride prefetcher model.
+
+The paper's optimizations work *because* the hardware prefetcher can
+follow the sequential neighbor runs ("We effectively steer the hardware
+prefetcher towards fetching transition data ... from contiguous memory
+locations", §IV-A).  Hardware stride prefetchers track several
+independent access streams (typically keyed by page or by load PC); this
+model keys streams by a configurable address region so the interleaved
+field-array pattern of a row gather (obs array, act array, rew array,
+...) trains one stream per array instead of destroying a single global
+stride.
+
+Once a stream has seen ``train_threshold`` consecutive constant-stride
+accesses it issues ``degree`` prefetches ahead along that stride.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PrefetcherConfig", "StridePrefetcher"]
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Prefetcher tuning knobs."""
+
+    train_threshold: int = 2  # constant-stride observations before firing
+    degree: int = 4  # lines fetched ahead once trained
+    line_bytes: int = 64
+    stream_shift: int = 20  # stream key = address >> shift (1 MiB regions)
+    max_streams: int = 16  # tracked streams (LRU-replaced)
+
+    def __post_init__(self) -> None:
+        if self.train_threshold < 1:
+            raise ValueError(
+                f"train_threshold must be >= 1, got {self.train_threshold}"
+            )
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(
+                f"line size must be a positive power of two, got {self.line_bytes}"
+            )
+        if self.stream_shift < self.line_bytes.bit_length() - 1:
+            raise ValueError("stream_shift must cover at least one cache line")
+        if self.max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {self.max_streams}")
+
+
+class _Stream:
+    """Per-stream training state."""
+
+    __slots__ = ("last_line", "stride", "confidence")
+
+    def __init__(self, line: int) -> None:
+        self.last_line = line
+        self.stride: Optional[int] = None
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Stream-table stride detector producing prefetch line addresses.
+
+    ``observe(address)`` returns the list of line-aligned addresses to
+    prefetch (empty while untrained or when the stride breaks).
+    """
+
+    def __init__(self, config: PrefetcherConfig = PrefetcherConfig()) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._streams: OrderedDict = OrderedDict()
+        self.issued = 0
+
+    def observe(self, address: int) -> List[int]:
+        """Feed one demand access; returns prefetch addresses to issue."""
+        line = address >> self._line_shift
+        key = address >> self.config.stream_shift
+        out: List[int] = []
+        stream = self._streams.get(key)
+        if stream is None:
+            if len(self._streams) >= self.config.max_streams:
+                self._streams.popitem(last=False)
+            self._streams[key] = _Stream(line)
+            return out
+        self._streams.move_to_end(key)
+        stride = line - stream.last_line
+        if stride == 0:
+            return out  # same line: no new information
+        if stride == stream.stride:
+            stream.confidence += 1
+        else:
+            stream.stride = stride
+            stream.confidence = 1
+        stream.last_line = line
+        if stream.confidence >= self.config.train_threshold:
+            for k in range(1, self.config.degree + 1):
+                out.append((line + stream.stride * k) << self._line_shift)
+            self.issued += len(out)
+        return out
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self.issued = 0
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,75 @@
+"""Reporting helpers for hardware-counter experiments (Figure 4 style).
+
+Figure 4 plots *growth rates*: for each counter, the multiplicative
+factor when the agent count doubles (3 -> 6, 6 -> 12, 12 -> 24).  These
+helpers compute and format those ratios from per-N counter dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["growth_rates", "GrowthTable", "reduction_percent"]
+
+
+def growth_rates(
+    per_scale: Mapping[int, Mapping[str, float]],
+    counters: Sequence[str],
+) -> Dict[Tuple[int, int], Dict[str, float]]:
+    """Ratios between consecutive scales for the named counters.
+
+    ``per_scale`` maps agent count -> {counter: value}.  Returns
+    ``{(3, 6): {counter: value_6 / value_3, ...}, ...}`` over consecutive
+    sorted scales.
+    """
+    scales = sorted(per_scale)
+    if len(scales) < 2:
+        raise ValueError("growth_rates needs at least two scales")
+    out: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for lo, hi in zip(scales, scales[1:]):
+        ratios: Dict[str, float] = {}
+        for counter in counters:
+            base = float(per_scale[lo][counter])
+            if base <= 0:
+                raise ValueError(
+                    f"counter {counter!r} at scale {lo} is non-positive ({base})"
+                )
+            ratios[counter] = float(per_scale[hi][counter]) / base
+        out[(lo, hi)] = ratios
+    return out
+
+
+def reduction_percent(baseline: float, optimized: float) -> float:
+    """Percentage reduction of ``optimized`` relative to ``baseline``.
+
+    Positive = improvement (the paper's Figures 8/9/14 convention);
+    negative = slowdown (e.g. layout reorganization at 3 agents).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (baseline - optimized) / baseline * 100.0
+
+
+@dataclass
+class GrowthTable:
+    """Pretty-printable growth-rate table (one row per scale transition)."""
+
+    counters: List[str]
+    rows: Dict[Tuple[int, int], Dict[str, float]]
+
+    @classmethod
+    def from_measurements(
+        cls,
+        per_scale: Mapping[int, Mapping[str, float]],
+        counters: Sequence[str],
+    ) -> "GrowthTable":
+        return cls(list(counters), growth_rates(per_scale, counters))
+
+    def render(self) -> str:
+        header = "transition  " + "  ".join(f"{c:>18}" for c in self.counters)
+        lines = [header, "-" * len(header)]
+        for (lo, hi), ratios in sorted(self.rows.items()):
+            cells = "  ".join(f"{ratios[c]:>17.2f}x" for c in self.counters)
+            lines.append(f"{lo:>3} -> {hi:<4} {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""TLB model: fully-associative LRU translation cache.
+
+Figure 4 tracks dTLB and iTLB load-miss growth.  Data-side behaviour is
+simulated directly from the address trace; instruction-side misses are
+estimated analytically in :mod:`repro.memsim.counters` (the interpreter's
+code footprint, unlike its data footprint, does not depend on the
+sampling pattern).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["TLBConfig", "TLBStats", "TLB"]
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """TLB geometry: entry count and page size."""
+
+    name: str = "dTLB"
+    entries: int = 64
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError(f"TLB entries must be positive, got {self.entries}")
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ValueError(
+                f"page size must be a positive power of two, got {self.page_bytes}"
+            )
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+
+class TLB:
+    """Fully-associative LRU TLB over byte addresses."""
+
+    def __init__(self, config: TLBConfig = TLBConfig()) -> None:
+        self.config = config
+        self.stats = TLBStats()
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self._entries: OrderedDict = OrderedDict()
+
+    def access(self, address: int) -> bool:
+        """Translate one address; returns True on TLB hit."""
+        page = address >> self._page_shift
+        self.stats.accesses += 1
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[page] = True
+        return False
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def reset(self) -> None:
+        self.flush()
+        self.stats.reset()

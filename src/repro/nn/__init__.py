@@ -1,0 +1,83 @@
+"""Numpy neural-network substrate for the MARL reproduction.
+
+This package replaces the PyTorch/TensorFlow dependency of the reference
+MADDPG/MATD3 implementations with an auditable, seedable, pure-numpy layer
+library: modules with explicit forward/backward passes, the paper's
+two-layer 64-unit ReLU MLP topology, MSE/weighted-MSE losses, and the
+Adam optimizer (lr = 0.01 per the paper's software settings).
+"""
+
+from .functional import (
+    epsilon_greedy,
+    gumbel_noise,
+    gumbel_softmax,
+    gumbel_softmax_backward,
+    one_hot,
+    softmax,
+)
+from .init import (
+    get_initializer,
+    he_normal,
+    he_uniform,
+    uniform_fan_in,
+    xavier_normal,
+    xavier_uniform,
+)
+from .layers import (
+    Concat,
+    Dropout,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .losses import huber_loss, mse_loss, weighted_mse_loss
+from .mlp import PAPER_HIDDEN_UNITS, actor_mlp, critic_mlp, mlp
+from .module import Module, Parameter
+from .normalizer import RunningNormalizer
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "RunningNormalizer",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Identity",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "Concat",
+    "mlp",
+    "actor_mlp",
+    "critic_mlp",
+    "PAPER_HIDDEN_UNITS",
+    "mse_loss",
+    "weighted_mse_loss",
+    "huber_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "one_hot",
+    "softmax",
+    "gumbel_noise",
+    "gumbel_softmax",
+    "gumbel_softmax_backward",
+    "epsilon_greedy",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "uniform_fan_in",
+    "get_initializer",
+]

@@ -1,0 +1,84 @@
+"""Weight-initialization schemes for the numpy NN substrate.
+
+The reference MADDPG/MATD3 implementations rely on their frameworks'
+default initializers (Xavier/Glorot for TF, Kaiming-uniform for torch).
+Both are provided here, parameterized by an explicit ``numpy.random
+.Generator`` so that every experiment in the reproduction is seedable
+end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "uniform_fan_in",
+]
+
+
+def _fans(shape: Tuple[int, int]) -> Tuple[int, int]:
+    if len(shape) != 2:
+        raise ValueError(f"initializers expect 2-D weight shapes, got {shape}")
+    fan_in, fan_out = shape[0], shape[1]
+    return fan_in, fan_out
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, int], gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape: Tuple[int, int], gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(rng: np.random.Generator, shape: Tuple[int, int]) -> np.ndarray:
+    """Kaiming uniform for ReLU fan-in: U(-sqrt(6/fan_in), sqrt(6/fan_in))."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, int]) -> np.ndarray:
+    """Kaiming normal for ReLU fan-in: N(0, 2/fan_in)."""
+    fan_in, _ = _fans(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_fan_in(rng: np.random.Generator, shape: Tuple[int, int]) -> np.ndarray:
+    """torch.nn.Linear default: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    fan_in, _ = _fans(shape)
+    bound = 1.0 / math.sqrt(fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+INITIALIZERS = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "uniform_fan_in": uniform_fan_in,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises KeyError with options listed."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,331 @@
+"""Layer implementations with explicit forward/backward passes.
+
+Each layer caches the intermediates its backward pass needs on ``self``;
+a layer instance therefore supports exactly one in-flight forward at a
+time, which matches how the MARL trainers use them (one mini-batch per
+update).  ``Sequential`` composes layers and runs backward in reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .init import get_initializer
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "LeakyReLU",
+    "Identity",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "Concat",
+]
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with W of shape (in_features, out_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        init: str = "xavier_uniform",
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"Linear dimensions must be positive, got ({in_features}, {out_features})"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        initializer = get_initializer(init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initializer(rng, (in_features, out_features)), "weight")
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), "bias")
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input dim {self.in_features}, got {x.shape[-1]}"
+            )
+        self._x = x
+        out = x @ self.weight.value
+        if self.has_bias:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward on Linear")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.weight.grad += self._x.T @ grad_out
+        if self.has_bias:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Rectified linear unit; the paper's hidden activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward on ReLU")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward on LeakyReLU")
+        return np.where(self._mask, grad_out, self.negative_slope * grad_out)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent; used for continuous-action actor heads."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward on Tanh")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward on Sigmoid")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Softmax(Module):
+    """Row-wise softmax over the last axis.
+
+    MPE agents have a 5-way discrete action space; MADDPG treats the
+    softmax output as a differentiable relaxation of the one-hot action
+    (see :func:`repro.nn.functional.gumbel_softmax`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        self._out = exp / exp.sum(axis=-1, keepdims=True)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward on Softmax")
+        s = self._out
+        dot = (grad_out * s).sum(axis=-1, keepdims=True)
+        return s * (grad_out - dot)
+
+
+class LayerNorm(Module):
+    """Per-row layer normalization with learnable affine parameters.
+
+    Not used by the paper's configuration (two-layer plain ReLU MLPs)
+    but a standard stabilizer for larger MARL settings; included for
+    architecture ablations.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError(f"LayerNorm dim must be positive, got {dim}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), "gamma")
+        self.beta = Parameter(np.zeros(dim), "beta")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"LayerNorm expected dim {self.dim}, got {x.shape[-1]}")
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward on LayerNorm")
+        x_hat, inv_std = self._cache
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        g = grad_out * self.gamma.value
+        n = self.dim
+        # d/dx of (x - mean) / std, vectorized over rows
+        term1 = g
+        term2 = g.mean(axis=-1, keepdims=True)
+        term3 = x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+        return (term1 - term2 - term3) * inv_std
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The mask is drawn from the generator supplied at construction so
+    training remains reproducible end to end.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return np.asarray(x, dtype=np.float64)
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(np.shape(x)) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Identity(Module):
+    """No-op layer, useful as a configurable head placeholder."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Sequential(Module):
+    """Chain of layers executed in order; backward runs in reverse order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+        for i, layer in enumerate(self.layers):
+            self.register_module(f"layer{i}", layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.register_module(f"layer{len(self.layers)}", layer)
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class Concat:
+    """Helper that concatenates named input blocks and splits gradients back.
+
+    Centralized critics consume the *joint* observation-action vector of
+    all agents (paper §II-A); this helper records the block widths on the
+    way in so the critic's input gradient can be routed back to the agent
+    that produced each block (needed for the policy-gradient path where
+    only agent i's action is differentiable).
+    """
+
+    def __init__(self) -> None:
+        self._widths: List[int] = []
+
+    def forward(self, blocks: Sequence[np.ndarray]) -> np.ndarray:
+        if not blocks:
+            raise ValueError("Concat.forward requires at least one block")
+        arrays = [np.atleast_2d(np.asarray(b, dtype=np.float64)) for b in blocks]
+        rows = arrays[0].shape[0]
+        for a in arrays:
+            if a.shape[0] != rows:
+                raise ValueError("Concat blocks must share the batch dimension")
+        self._widths = [a.shape[1] for a in arrays]
+        return np.concatenate(arrays, axis=1)
+
+    def split(self, grad: np.ndarray) -> List[np.ndarray]:
+        """Split an upstream gradient back into per-block gradients."""
+        if not self._widths:
+            raise RuntimeError("Concat.split called before forward")
+        out: List[np.ndarray] = []
+        offset = 0
+        for w in self._widths:
+            out.append(grad[:, offset : offset + w])
+            offset += w
+        if offset != grad.shape[1]:
+            raise ValueError(
+                f"gradient width {grad.shape[1]} does not match concat width {offset}"
+            )
+        return out

@@ -1,0 +1,90 @@
+"""MLP factories matching the paper's network architecture.
+
+Paper §V (Software Settings): "The actor and critic networks are
+parameterized by a two-layer ReLU MLP with 64 units per layer."  The
+factories below build exactly that topology by default while remaining
+configurable for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .layers import Identity, Linear, ReLU, Sequential, Softmax, Tanh
+from .module import Module
+
+__all__ = ["mlp", "actor_mlp", "critic_mlp", "PAPER_HIDDEN_UNITS"]
+
+#: Hidden widths from the paper's software settings (two layers, 64 units each).
+PAPER_HIDDEN_UNITS = (64, 64)
+
+_HEADS = {
+    "identity": Identity,
+    "tanh": Tanh,
+    "softmax": Softmax,
+}
+
+
+def _head(name: str) -> Module:
+    try:
+        return _HEADS[name]()
+    except KeyError:
+        raise KeyError(f"unknown head {name!r}; available: {sorted(_HEADS)}") from None
+
+
+def mlp(
+    in_dim: int,
+    out_dim: int,
+    hidden: Sequence[int] = PAPER_HIDDEN_UNITS,
+    head: str = "identity",
+    rng: Optional[np.random.Generator] = None,
+    init: str = "xavier_uniform",
+) -> Sequential:
+    """Build a ReLU MLP ``in_dim -> hidden... -> out_dim`` with a named head."""
+    if in_dim <= 0 or out_dim <= 0:
+        raise ValueError(f"mlp dims must be positive, got in={in_dim}, out={out_dim}")
+    rng = rng if rng is not None else np.random.default_rng()
+    net = Sequential()
+    prev = in_dim
+    for width in hidden:
+        net.append(Linear(prev, width, rng=rng, init=init))
+        net.append(ReLU())
+        prev = width
+    net.append(Linear(prev, out_dim, rng=rng, init=init))
+    head_layer = _head(head)
+    if not isinstance(head_layer, Identity):
+        net.append(head_layer)
+    return net
+
+
+def actor_mlp(
+    obs_dim: int,
+    act_dim: int,
+    hidden: Sequence[int] = PAPER_HIDDEN_UNITS,
+    discrete: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Actor network: observation -> action logits (discrete) or tanh action.
+
+    MPE tasks have 5-way discrete actions; the actor emits logits and the
+    trainer relaxes them with Gumbel-Softmax.  For continuous ablations a
+    tanh head bounds actions to [-1, 1].
+    """
+    head = "identity" if discrete else "tanh"
+    return mlp(obs_dim, act_dim, hidden=hidden, head=head, rng=rng)
+
+
+def critic_mlp(
+    joint_dim: int,
+    hidden: Sequence[int] = PAPER_HIDDEN_UNITS,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Centralized critic: joint (obs, action) vector of all agents -> scalar Q.
+
+    The joint input dimension grows with the number of agents (paper §III:
+    "the dimension of Q function ... grows exponentially due to the
+    significant increase in the size of observation space").
+    """
+    return mlp(joint_dim, 1, hidden=hidden, head="identity", rng=rng)

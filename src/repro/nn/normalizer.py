@@ -1,0 +1,111 @@
+"""Running observation normalization (Welford's online algorithm).
+
+Observation scales in MPE grow with the arena and the agent count;
+normalizing to zero mean / unit variance stabilizes learning at larger
+N.  The normalizer tracks running statistics with Welford updates
+(numerically stable for millions of samples) and supports freezing for
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RunningNormalizer"]
+
+
+class RunningNormalizer:
+    """Online per-feature mean/variance tracker with normalization."""
+
+    def __init__(self, dim: int, eps: float = 1e-8, clip: float = 10.0) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if clip <= 0:
+            raise ValueError(f"clip must be positive, got {clip}")
+        self.dim = dim
+        self.eps = eps
+        self.clip = clip
+        self.count = 0
+        self._mean = np.zeros(dim)
+        self._m2 = np.zeros(dim)
+        self.frozen = False
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    @property
+    def variance(self) -> np.ndarray:
+        if self.count < 2:
+            return np.ones(self.dim)
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance + self.eps)
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, x: np.ndarray) -> None:
+        """Fold one observation (or a batch) into the running statistics."""
+        if self.frozen:
+            return
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {x.shape[1]}")
+        for row in x:
+            self.count += 1
+            delta = row - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (row - self._mean)
+
+    def freeze(self) -> None:
+        """Stop updating (evaluation mode)."""
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        self.frozen = False
+
+    # -- application --------------------------------------------------------------
+
+    def normalize(self, x: np.ndarray) -> np.ndarray:
+        """Zero-mean/unit-variance transform, clipped to ±clip."""
+        x = np.asarray(x, dtype=np.float64)
+        out = (x - self._mean) / self.std
+        return np.clip(out, -self.clip, self.clip)
+
+    def denormalize(self, x: np.ndarray) -> np.ndarray:
+        """Inverse transform (of unclipped values)."""
+        return np.asarray(x, dtype=np.float64) * self.std + self._mean
+
+    def __call__(self, x: np.ndarray, update: bool = True) -> np.ndarray:
+        """Update (unless frozen or disabled) then normalize."""
+        if update:
+            self.update(x)
+        return self.normalize(x)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+            "count": np.array([self.count], dtype=np.int64),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        m2 = np.asarray(state["m2"], dtype=np.float64)
+        if mean.shape != (self.dim,) or m2.shape != (self.dim,):
+            raise ValueError(
+                f"normalizer state has wrong shape: {mean.shape}, expected ({self.dim},)"
+            )
+        np.copyto(self._mean, mean)
+        np.copyto(self._m2, m2)
+        self.count = int(np.asarray(state["count"]).ravel()[0])

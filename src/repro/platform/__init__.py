@@ -1,0 +1,19 @@
+"""Analytical platform models for the cross-platform study (Figs. 12-13)."""
+
+from .estimate import mlp_flops, update_round_workload
+from .model import PhaseWorkload, PlatformModel, ProjectedPhases, project
+from .presets import GTX1070_I7, I7_CPU_ONLY, PRESETS, RTX3090_RYZEN, get_platform
+
+__all__ = [
+    "PlatformModel",
+    "PhaseWorkload",
+    "ProjectedPhases",
+    "project",
+    "update_round_workload",
+    "mlp_flops",
+    "RTX3090_RYZEN",
+    "GTX1070_I7",
+    "I7_CPU_ONLY",
+    "PRESETS",
+    "get_platform",
+]

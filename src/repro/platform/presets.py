@@ -1,0 +1,64 @@
+"""Platform presets matching the paper's three evaluation hosts.
+
+Coefficients are order-of-magnitude calibrations, not measurements; what
+the reproduction preserves is their *ratios*, which set the paper's
+qualitative cross-platform findings: the Ryzen/3090 host is fastest
+everywhere, the i7 CPU-only host sees the largest end-to-end benefit
+from sampling optimizations, and the GTX 1070 host dilutes those
+benefits behind PCIe transfer and framework-call overhead (§VI-B).
+
+* RTX 3090 + Ryzen 3975WX (Table II) — the primary host.
+* GTX 1070 + i7-9700K — the weaker CPU-GPU cross-validation host.
+* i7-9700K CPU-only — the GPU-disabled cross-validation host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .model import PlatformModel
+
+__all__ = ["RTX3090_RYZEN", "GTX1070_I7", "I7_CPU_ONLY", "PRESETS", "get_platform"]
+
+RTX3090_RYZEN = PlatformModel(
+    name="rtx3090_ryzen3975wx",
+    cpu_gflops=60.0,
+    row_overhead_s=1.6e-6,  # fast cores, large L3: cheap per-row gather
+    stall_share=0.45,
+    gpu_gflops=15_000.0,  # sustained fraction of 35.6 TFLOPS fp32 peak
+    pcie_gbps=12.0,  # PCIe 4.0 x16 effective
+    gpu_call_overhead_s=0.8e-3,
+)
+
+GTX1070_I7 = PlatformModel(
+    name="gtx1070_i7_9700k",
+    cpu_gflops=45.0,
+    row_overhead_s=2.2e-6,  # slower memory system than the Ryzen host
+    stall_share=0.50,
+    gpu_gflops=3_000.0,  # sustained fraction of 6.5 TFLOPS fp32 peak
+    pcie_gbps=6.0,  # PCIe 3.0 x16 effective
+    gpu_call_overhead_s=1.5e-3,  # older driver stack, higher sync cost
+)
+
+I7_CPU_ONLY = PlatformModel(
+    name="i7_9700k_cpu_only",
+    cpu_gflops=45.0,
+    row_overhead_s=2.2e-6,
+    stall_share=0.50,
+    gpu_gflops=None,
+    pcie_gbps=None,
+)
+
+PRESETS: Dict[str, PlatformModel] = {
+    p.name: p for p in (RTX3090_RYZEN, GTX1070_I7, I7_CPU_ONLY)
+}
+
+
+def get_platform(name: str) -> PlatformModel:
+    """Look up a preset host by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PRESETS)}"
+        ) from None

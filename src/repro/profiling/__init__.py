@@ -1,0 +1,41 @@
+"""Workload characterization harness: phase timers and paper-style breakdowns."""
+
+from .breakdown import (
+    EndToEndBreakdown,
+    UpdateBreakdown,
+    end_to_end_breakdown,
+    update_breakdown,
+)
+from .phases import (
+    ACTION_SELECTION,
+    BUFFER_WRITE,
+    ENV_STEP,
+    LOSS_UPDATE,
+    OTHER_SEGMENTS,
+    SAMPLING,
+    TARGET_Q,
+    TOP_LEVEL_PHASES,
+    UPDATE_ALL_TRAINERS,
+    UPDATE_SUBPHASES,
+    qualified,
+)
+from .timers import PhaseTimer
+
+__all__ = [
+    "PhaseTimer",
+    "EndToEndBreakdown",
+    "UpdateBreakdown",
+    "end_to_end_breakdown",
+    "update_breakdown",
+    "ACTION_SELECTION",
+    "ENV_STEP",
+    "BUFFER_WRITE",
+    "UPDATE_ALL_TRAINERS",
+    "SAMPLING",
+    "TARGET_Q",
+    "LOSS_UPDATE",
+    "TOP_LEVEL_PHASES",
+    "UPDATE_SUBPHASES",
+    "OTHER_SEGMENTS",
+    "qualified",
+]

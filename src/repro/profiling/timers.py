@@ -1,0 +1,140 @@
+"""Hierarchical phase timers for workload characterization.
+
+The paper's characterization (Figures 2, 3, 6) splits end-to-end training
+time into named phases and sub-phases.  :class:`PhaseTimer` accumulates
+wall-clock time per dotted phase name (``update_all_trainers.sampling``),
+supporting nesting via context managers and cheap enough to leave
+enabled in production training loops.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timer keyed by dotted phase names."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block under ``name``, nested inside any active phases.
+
+        Nested phases produce dotted keys: entering ``sampling`` while
+        ``update_all_trainers`` is active accumulates under
+        ``update_all_trainers.sampling``.
+        """
+        if not name or "." in name:
+            raise ValueError(
+                f"phase names must be non-empty and dot-free, got {name!r}"
+            )
+        full = ".".join([*self._stack, name])
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self._totals[full] = self._totals.get(full, 0.0) + elapsed
+            self._counts[full] = self._counts.get(full, 0) + 1
+
+    # -- direct accumulation (for costs measured elsewhere) -----------------
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Accumulate an externally measured duration under ``name``."""
+        if seconds < 0:
+            raise ValueError(f"cannot add negative time: {seconds}")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + count
+
+    # -- queries ----------------------------------------------------------
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for a phase (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        c = self.count(name)
+        return self.total(name) / c if c else 0.0
+
+    def phases(self) -> List[str]:
+        """All recorded phase keys, sorted."""
+        return sorted(self._totals)
+
+    def children(self, parent: str) -> List[str]:
+        """Direct sub-phases of ``parent``."""
+        prefix = parent + "."
+        out = []
+        for key in self._totals:
+            if key.startswith(prefix) and "." not in key[len(prefix):]:
+                out.append(key)
+        return sorted(out)
+
+    def totals(self) -> Dict[str, float]:
+        """Copy of all accumulated totals."""
+        return dict(self._totals)
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulations into this one."""
+        for key, value in other._totals.items():
+            self.add(key, value, other._counts.get(key, 1))
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+        if self._stack:
+            raise RuntimeError("cannot reset while phases are active")
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_tree(self, total: Optional[float] = None) -> str:
+        """Indented profile tree with per-phase seconds, %, and call counts.
+
+        ``total`` sets the 100% reference (defaults to the sum of
+        top-level phases).  Children are shown under their parents with
+        an ``(unaccounted)`` line when a parent's own time exceeds its
+        children's sum.
+        """
+        roots = sorted(k for k in self._totals if "." not in k)
+        if not roots:
+            return "(no phases recorded)"
+        reference = total if total is not None else sum(
+            self._totals[r] for r in roots
+        )
+        if reference <= 0:
+            raise ValueError("reference total must be positive")
+        lines: List[str] = []
+
+        def emit(key: str, depth: int) -> None:
+            seconds = self._totals[key]
+            name = key.rsplit(".", 1)[-1]
+            lines.append(
+                f"{'  ' * depth}{name:<24} {seconds * 1e3:10.2f}ms "
+                f"{seconds / reference * 100:6.1f}%  x{self._counts.get(key, 0)}"
+            )
+            children = self.children(key)
+            child_sum = sum(self._totals[c] for c in children)
+            for child in children:
+                emit(child, depth + 1)
+            if children and seconds - child_sum > 1e-9:
+                rest = seconds - child_sum
+                lines.append(
+                    f"{'  ' * (depth + 1)}{'(unaccounted)':<24} "
+                    f"{rest * 1e3:10.2f}ms {rest / reference * 100:6.1f}%"
+                )
+
+        for root in roots:
+            emit(root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Training harness: loop, evaluation, seeding, and run results."""
+
+from .batched import collect_steps
+from .evaluation import CurveComparison, compare_curves, evaluate_policy
+from .loop import run_episode, train
+from .metrics import EpisodeMetrics, MetricsCollector, run_episode_with_metrics
+from .results import RunResult, smooth_curve
+from .seeding import SeedBundle, derive_seeds
+
+__all__ = [
+    "train",
+    "run_episode",
+    "collect_steps",
+    "MetricsCollector",
+    "EpisodeMetrics",
+    "run_episode_with_metrics",
+    "evaluate_policy",
+    "compare_curves",
+    "CurveComparison",
+    "RunResult",
+    "smooth_curve",
+    "SeedBundle",
+    "derive_seeds",
+]

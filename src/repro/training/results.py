@@ -1,0 +1,103 @@
+"""Structured results of a training run.
+
+Everything the paper reports is derivable from a :class:`RunResult`:
+total wall-clock seconds (Table I), per-phase breakdowns (Figures 2/3/6),
+and reward curves (Figures 10/11).  Results serialize to plain dicts /
+JSON for archiving bench outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RunResult", "smooth_curve"]
+
+
+def smooth_curve(values: List[float], window: int = 100) -> np.ndarray:
+    """Trailing moving average, the paper's reward-curve smoothing."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return arr
+    out = np.empty_like(arr)
+    csum = np.cumsum(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+@dataclass
+class RunResult:
+    """Outcome of one training run."""
+
+    algorithm: str
+    variant: str
+    env_name: str
+    num_agents: int
+    episodes: int
+    total_seconds: float
+    phase_totals: Dict[str, float]
+    episode_rewards: List[float] = field(default_factory=list)
+    agent_rewards: List[List[float]] = field(default_factory=list)
+    update_rounds: int = 0
+    env_steps: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def mean_episode_reward(self, last: Optional[int] = None) -> float:
+        """Mean of (the last ``last``) per-episode total rewards."""
+        if not self.episode_rewards:
+            raise ValueError("run recorded no episode rewards")
+        rewards = self.episode_rewards if last is None else self.episode_rewards[-last:]
+        return float(np.mean(rewards))
+
+    def reward_curve(self, window: int = 100) -> np.ndarray:
+        """Smoothed mean-episode-reward curve (Figures 10/11 series)."""
+        return smooth_curve(self.episode_rewards, window=window)
+
+    def phase_seconds(self, phase: str) -> float:
+        return self.phase_totals.get(phase, 0.0)
+
+    def seconds_per_episode(self) -> float:
+        if self.episodes <= 0:
+            raise ValueError("run recorded no episodes")
+        return self.total_seconds / self.episodes
+
+    def extrapolate_seconds(self, episodes: int) -> float:
+        """Project this run's rate to a different episode count (e.g. the
+        paper's 60,000) assuming steady-state per-episode cost."""
+        if episodes <= 0:
+            raise ValueError(f"episodes must be positive, got {episodes}")
+        return self.seconds_per_episode() * episodes
+
+    def as_dict(self) -> Dict:
+        return {
+            "algorithm": self.algorithm,
+            "variant": self.variant,
+            "env_name": self.env_name,
+            "num_agents": self.num_agents,
+            "episodes": self.episodes,
+            "total_seconds": self.total_seconds,
+            "phase_totals": dict(self.phase_totals),
+            "episode_rewards": list(self.episode_rewards),
+            "update_rounds": self.update_rounds,
+            "env_steps": self.env_steps,
+            "extra": dict(self.extra),
+        }
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.as_dict(), f, indent=2)
+
+    @classmethod
+    def from_json(cls, path: str) -> "RunResult":
+        with open(path) as f:
+            data = json.load(f)
+        data.setdefault("agent_rewards", [])
+        return cls(**data)

@@ -1,0 +1,205 @@
+"""Tests for segment trees and the prioritized replay buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import MinTree, PrioritizedReplayBuffer, SumTree
+
+
+class TestSumTree:
+    def test_total_sums_leaves(self):
+        tree = SumTree(8)
+        tree[0] = 1.0
+        tree[3] = 2.0
+        tree[7] = 0.5
+        assert tree.total() == pytest.approx(3.5)
+
+    def test_capacity_rounds_to_pow2(self):
+        tree = SumTree(5)
+        assert tree.capacity == 8
+
+    def test_update_replaces_not_accumulates(self):
+        tree = SumTree(4)
+        tree[1] = 5.0
+        tree[1] = 2.0
+        assert tree.total() == pytest.approx(2.0)
+
+    def test_prefixsum_descent(self):
+        tree = SumTree(4)
+        tree[0], tree[1], tree[2], tree[3] = 1.0, 2.0, 3.0, 4.0
+        assert tree.find_prefixsum_idx(0.5) == 0
+        assert tree.find_prefixsum_idx(1.5) == 1
+        assert tree.find_prefixsum_idx(3.5) == 2
+        assert tree.find_prefixsum_idx(9.9) == 3
+
+    def test_prefixsum_validation(self):
+        tree = SumTree(4)
+        tree[0] = 1.0
+        with pytest.raises(ValueError):
+            tree.find_prefixsum_idx(-0.1)
+        with pytest.raises(ValueError):
+            tree.find_prefixsum_idx(2.0)
+
+    def test_reduce_range(self):
+        tree = SumTree(8)
+        for i in range(8):
+            tree[i] = float(i)
+        assert tree.reduce(2, 5) == pytest.approx(2 + 3 + 4)
+
+    def test_out_of_range_index(self):
+        tree = SumTree(4)
+        with pytest.raises(IndexError):
+            tree[4] = 1.0
+        with pytest.raises(IndexError):
+            _ = tree[-1]
+
+    def test_proportional_sampling_distribution(self):
+        rng = np.random.default_rng(0)
+        tree = SumTree(4)
+        tree[0], tree[1], tree[2], tree[3] = 1.0, 1.0, 1.0, 7.0
+        draws = tree.sample_proportional(rng, 10_000, 4)
+        freq = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(freq, [0.1, 0.1, 0.1, 0.7], atol=0.03)
+
+    def test_sampling_empty_tree_raises(self, rng):
+        tree = SumTree(4)
+        with pytest.raises(ValueError, match="no mass"):
+            tree.sample_proportional(rng, 4, 4)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_matches_numpy_sum(self, priorities):
+        tree = SumTree(len(priorities))
+        for i, p in enumerate(priorities):
+            tree[i] = p
+        assert tree.total() == pytest.approx(sum(priorities), rel=1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=2, max_size=32),
+        st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_prefixsum_idx_is_correct_leaf(self, priorities, frac):
+        tree = SumTree(len(priorities))
+        for i, p in enumerate(priorities):
+            tree[i] = p
+        target = frac * tree.total()
+        idx = tree.find_prefixsum_idx(target)
+        cumsum = np.cumsum(priorities)
+        expected = int(np.searchsorted(cumsum, target, side="right"))
+        assert idx == min(expected, len(priorities) - 1)
+
+
+class TestMinTree:
+    def test_min_over_set_leaves(self):
+        tree = MinTree(8)
+        tree[0] = 5.0
+        tree[1] = 2.0
+        tree[2] = 9.0
+        assert tree.min() == pytest.approx(2.0)
+
+    def test_min_empty_is_inf(self):
+        assert MinTree(4).min() == float("inf")
+
+    def test_min_updates(self):
+        tree = MinTree(4)
+        tree[0] = 5.0
+        tree[0] = 1.0
+        assert tree.min() == pytest.approx(1.0)
+
+
+def fill_prioritized(buf, rng, rows):
+    for i in range(rows):
+        buf.add(
+            rng.standard_normal(buf.obs_dim),
+            rng.standard_normal(buf.act_dim),
+            float(i),
+            rng.standard_normal(buf.obs_dim),
+            False,
+        )
+
+
+class TestPrioritizedReplayBuffer:
+    def test_new_samples_enter_at_max_priority(self, rng):
+        buf = PrioritizedReplayBuffer(16, 2, 2, alpha=1.0)
+        fill_prioritized(buf, rng, 4)
+        buf.update_priorities([0], [10.0])
+        buf.add(np.zeros(2), np.zeros(2), 0.0, np.zeros(2), False)
+        probs = buf.probabilities([0, 4])
+        assert probs[1] == pytest.approx(probs[0], rel=1e-4)
+
+    def test_update_priorities_changes_sampling(self):
+        rng = np.random.default_rng(0)
+        buf = PrioritizedReplayBuffer(16, 2, 2, alpha=1.0)
+        fill_prioritized(buf, rng, 8)
+        buf.update_priorities(range(8), [1e-6] * 8)
+        buf.update_priorities([3], [100.0])
+        draws = buf.sample_proportional_indices(rng, 500)
+        assert np.mean(draws == 3) > 0.95
+
+    def test_alpha_zero_is_uniform(self):
+        rng = np.random.default_rng(0)
+        buf = PrioritizedReplayBuffer(16, 2, 2, alpha=0.0)
+        fill_prioritized(buf, rng, 8)
+        buf.update_priorities(range(8), np.linspace(0.1, 100, 8))
+        probs = buf.probabilities(range(8))
+        np.testing.assert_allclose(probs, probs[0])
+
+    def test_importance_weights_bounded_by_one(self, rng):
+        buf = PrioritizedReplayBuffer(32, 2, 2)
+        fill_prioritized(buf, rng, 20)
+        buf.update_priorities(range(20), rng.uniform(0.1, 10, 20))
+        idx = buf.sample_proportional_indices(rng, 16)
+        w = buf.importance_weights(idx, beta=1.0)
+        assert np.all(w <= 1.0 + 1e-9)
+        assert np.all(w > 0)
+
+    def test_beta_zero_weights_are_one(self, rng):
+        buf = PrioritizedReplayBuffer(32, 2, 2)
+        fill_prioritized(buf, rng, 10)
+        idx = buf.sample_proportional_indices(rng, 8)
+        np.testing.assert_allclose(buf.importance_weights(idx, beta=0.0), 1.0)
+
+    def test_high_priority_gets_low_weight(self, rng):
+        buf = PrioritizedReplayBuffer(16, 2, 2, alpha=1.0)
+        fill_prioritized(buf, rng, 4)
+        buf.update_priorities(range(4), [1.0, 1.0, 1.0, 50.0])
+        w = buf.importance_weights([0, 3], beta=1.0)
+        assert w[1] < w[0]
+
+    def test_normalized_priorities_in_unit_interval(self, rng):
+        buf = PrioritizedReplayBuffer(16, 2, 2)
+        fill_prioritized(buf, rng, 10)
+        buf.update_priorities(range(10), rng.uniform(0.1, 5.0, 10))
+        norm = buf.normalized_priorities(range(10))
+        assert np.all((norm >= 0) & (norm <= 1))
+        # the max-priority element normalizes to ~1
+        assert norm.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_sample_returns_consistent_triple(self, rng):
+        buf = PrioritizedReplayBuffer(64, 3, 2)
+        fill_prioritized(buf, rng, 40)
+        batch, weights, indices = buf.sample(rng, 16, beta=0.5)
+        assert batch[0].shape == (16, 3)
+        assert weights.shape == (16,)
+        assert indices.shape == (16,)
+        # gathered rewards match the indices (reward encodes row id)
+        np.testing.assert_array_equal(batch[2], indices.astype(float))
+
+    def test_update_validation(self, rng):
+        buf = PrioritizedReplayBuffer(16, 2, 2)
+        fill_prioritized(buf, rng, 4)
+        with pytest.raises(ValueError, match="mismatch"):
+            buf.update_priorities([0, 1], [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            buf.update_priorities([0], [0.0])
+        with pytest.raises(IndexError):
+            buf.update_priorities([9], [1.0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(16, 2, 2, alpha=-0.1)
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(16, 2, 2, eps=0.0)

@@ -1,0 +1,176 @@
+"""Tests for trainer checkpointing (save/load/resume)."""
+
+import numpy as np
+import pytest
+
+from repro.algos import (
+    MADDPGTrainer,
+    MARLConfig,
+    MATD3Trainer,
+    checkpoint_metadata,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.nn.functional import one_hot
+
+
+def make_trainer(cls=MADDPGTrainer, seed=0):
+    config = MARLConfig(batch_size=16, buffer_capacity=256, update_every=8)
+    return cls([6, 4], [3, 3], config=config, seed=seed)
+
+
+def feed_and_update(trainer, rng, steps=40, updates=2):
+    for _ in range(steps):
+        obs = [rng.standard_normal(d) for d in trainer.obs_dims]
+        act = [one_hot(rng.integers(a), a) for a in trainer.act_dims]
+        trainer.experience(obs, act, [0.1, -0.1], obs, [False, False])
+    for _ in range(updates):
+        trainer.update(force=True)
+
+
+class TestMetadata:
+    def test_metadata_fields(self, rng):
+        trainer = make_trainer()
+        feed_and_update(trainer, rng)
+        meta = checkpoint_metadata(trainer)
+        assert meta["algorithm"] == "maddpg"
+        assert meta["obs_dims"] == [6, 4]
+        assert meta["total_env_steps"] == 40
+        assert meta["update_rounds"] == 2
+
+
+class TestSaveLoad:
+    def test_round_trip_restores_policies(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+
+        fresh = make_trainer(seed=99)  # different init
+        obs = rng.standard_normal(6)
+        before = fresh.agents[0].act(obs, explore=False)
+        meta = load_checkpoint(fresh, path)
+        after = fresh.agents[0].act(obs, explore=False)
+        original = trainer.agents[0].act(obs, explore=False)
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(after, original)
+        assert meta["update_rounds"] == 2
+
+    def test_round_trip_restores_targets_and_critics(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        fresh = make_trainer(seed=99)
+        load_checkpoint(fresh, path)
+        x = rng.standard_normal((3, fresh.joint_dim))
+        for a, b in zip(trainer.agents, fresh.agents):
+            np.testing.assert_allclose(a.critic(x), b.critic(x))
+            np.testing.assert_allclose(a.target_critic(x), b.target_critic(x))
+
+    def test_optimizer_state_restored(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        fresh = make_trainer(seed=99)
+        load_checkpoint(fresh, path)
+        assert fresh.agents[0].actor_optimizer.t == trainer.agents[0].actor_optimizer.t
+        np.testing.assert_allclose(
+            fresh.agents[0].critic_optimizer._m[0],
+            trainer.agents[0].critic_optimizer._m[0],
+        )
+
+    def test_progress_counters_restored(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        fresh = make_trainer()
+        load_checkpoint(fresh, path)
+        assert fresh.total_env_steps == trainer.total_env_steps
+        assert fresh.update_rounds == trainer.update_rounds
+        assert fresh.beta_schedule.step_count == trainer.beta_schedule.step_count
+
+    def test_strict_progress_false_keeps_counters(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        fresh = make_trainer()
+        load_checkpoint(fresh, path, strict_progress=False)
+        assert fresh.total_env_steps == 0
+
+    def test_resumed_training_matches_uninterrupted(self, rng, tmp_path):
+        """Save/load mid-run, then verify both trainers update identically."""
+        a = make_trainer(seed=1)
+        feed_and_update(a, np.random.default_rng(5), steps=40, updates=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(a, path, include_replay=True)
+        b = make_trainer(seed=1)
+        load_checkpoint(b, path)
+        # sync the exploration rngs so updates draw identical samples
+        a.rng = np.random.default_rng(77)
+        b.rng = np.random.default_rng(77)
+        la = a.update(force=True)
+        lb = b.update(force=True)
+        assert la["q_loss"] == pytest.approx(lb["q_loss"])
+        x = rng.standard_normal((2, a.joint_dim))
+        np.testing.assert_allclose(a.agents[0].critic(x), b.agents[0].critic(x))
+
+
+class TestReplayArchival:
+    def test_include_replay_restores_contents(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng, steps=30, updates=0)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path, include_replay=True)
+        fresh = make_trainer()
+        load_checkpoint(fresh, path)
+        assert len(fresh.replay) == 30
+        idx = [0, 7, 29]
+        for k in range(2):
+            a = trainer.replay.buffers[k].gather_vectorized(idx)
+            b = fresh.replay.buffers[k].gather_vectorized(idx)
+            for fa, fb in zip(a, b):
+                np.testing.assert_array_equal(fa, fb)
+
+    def test_exclude_replay_leaves_buffer_empty(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        feed_and_update(trainer, rng, steps=30, updates=0)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path, include_replay=False)
+        fresh = make_trainer()
+        load_checkpoint(fresh, path)
+        assert len(fresh.replay) == 0
+
+
+class TestValidation:
+    def test_algorithm_mismatch_rejected(self, rng, tmp_path):
+        trainer = make_trainer(MADDPGTrainer, seed=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        wrong = make_trainer(MATD3Trainer)
+        with pytest.raises(ValueError, match="maddpg"):
+            load_checkpoint(wrong, path)
+
+    def test_dimension_mismatch_rejected(self, rng, tmp_path):
+        trainer = make_trainer(seed=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        config = MARLConfig(batch_size=16, buffer_capacity=256)
+        wrong = MADDPGTrainer([8, 4], [3, 3], config=config, seed=0)
+        with pytest.raises(ValueError, match="dimensions"):
+            load_checkpoint(wrong, path)
+
+    def test_matd3_twin_critics_round_trip(self, rng, tmp_path):
+        trainer = make_trainer(MATD3Trainer, seed=1)
+        feed_and_update(trainer, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trainer, path)
+        fresh = make_trainer(MATD3Trainer, seed=50)
+        load_checkpoint(fresh, path)
+        x = rng.standard_normal((2, fresh.joint_dim))
+        np.testing.assert_allclose(
+            trainer.agents[0].critic2(x), fresh.agents[0].critic2(x)
+        )

@@ -1,0 +1,222 @@
+"""Tests for the multi-agent environment wrapper, registry, and prey policy."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    FleePolicy,
+    MultiAgentEnv,
+    NUM_MOVEMENT_ACTIONS,
+    PredatorPreyScenario,
+    available_envs,
+    make,
+    register,
+)
+
+
+class TestEnvAPI:
+    def test_reset_returns_per_agent_observations(self):
+        env = make("cooperative_navigation", num_agents=3, seed=0)
+        obs = env.reset()
+        assert len(obs) == 3
+        assert all(o.shape == (18,) for o in obs)
+
+    def test_step_returns_quadruple(self):
+        env = make("cooperative_navigation", num_agents=3, seed=0)
+        env.reset()
+        obs, rewards, dones, info = env.step([0, 1, 2])
+        assert len(obs) == len(rewards) == len(dones) == 3
+        assert "n" in info
+
+    def test_horizon_terminates_episode(self):
+        env = make("cooperative_navigation", num_agents=2, seed=0, max_episode_len=5)
+        env.reset()
+        for step in range(5):
+            _, _, dones, _ = env.step([0, 0])
+        assert all(dones)
+
+    def test_reset_clears_horizon(self):
+        env = make("cooperative_navigation", num_agents=2, seed=0, max_episode_len=3)
+        env.reset()
+        for _ in range(3):
+            _, _, dones, _ = env.step([0, 0])
+        assert all(dones)
+        env.reset()
+        _, _, dones, _ = env.step([0, 0])
+        assert not any(dones)
+
+    def test_wrong_action_count_raises(self):
+        env = make("cooperative_navigation", num_agents=3, seed=0)
+        env.reset()
+        with pytest.raises(ValueError, match="expected 3 actions"):
+            env.step([0, 0])
+
+    def test_action_spaces_are_5_way_discrete(self):
+        env = make("predator_prey", num_agents=3, seed=0)
+        assert all(space.n == NUM_MOVEMENT_ACTIONS for space in env.action_space)
+
+    def test_deterministic_given_seed(self):
+        a = make("predator_prey", num_agents=3, seed=7)
+        b = make("predator_prey", num_agents=3, seed=7)
+        oa, ob = a.reset(), b.reset()
+        for x, y in zip(oa, ob):
+            np.testing.assert_array_equal(x, y)
+        for _ in range(5):
+            ra = a.step([1, 2, 3])
+            rb = b.step([1, 2, 3])
+            np.testing.assert_array_equal(ra[0][0], rb[0][0])
+            assert ra[1] == rb[1]
+
+
+class TestActionMapping:
+    def make_env(self):
+        return make("cooperative_navigation", num_agents=1, seed=0)
+
+    def test_discrete_action_moves_agent_right(self):
+        env = self.make_env()
+        env.reset()
+        agent = env.agents[0]
+        agent.state.p_pos = np.zeros(2)
+        agent.state.p_vel = np.zeros(2)
+        env.step([1])  # +x
+        assert agent.state.p_vel[0] > 0
+        assert agent.state.p_vel[1] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize(
+        "action,axis,sign", [(1, 0, +1), (2, 0, -1), (3, 1, +1), (4, 1, -1)]
+    )
+    def test_all_movement_directions(self, action, axis, sign):
+        env = self.make_env()
+        env.reset()
+        agent = env.agents[0]
+        agent.state.p_vel = np.zeros(2)
+        env.step([action])
+        assert np.sign(agent.state.p_vel[axis]) == sign
+
+    def test_noop_keeps_velocity_damping_only(self):
+        env = self.make_env()
+        env.reset()
+        agent = env.agents[0]
+        agent.state.p_vel = np.array([1.0, 0.0])
+        env.step([0])
+        assert agent.state.p_vel[0] == pytest.approx(0.75)
+
+    def test_one_hot_vector_equivalent_to_index(self):
+        env_a, env_b = self.make_env(), self.make_env()
+        env_a.reset()
+        env_b.reset()
+        for env in (env_a, env_b):
+            env.agents[0].state.p_pos = np.zeros(2)
+            env.agents[0].state.p_vel = np.zeros(2)
+        env_a.step([1])
+        vec = np.zeros(NUM_MOVEMENT_ACTIONS)
+        vec[1] = 1.0
+        env_b.step([vec])
+        np.testing.assert_allclose(
+            env_a.agents[0].state.p_vel, env_b.agents[0].state.p_vel
+        )
+
+    def test_soft_action_scales_force(self):
+        env = self.make_env()
+        env.reset()
+        agent = env.agents[0]
+        agent.state.p_vel = np.zeros(2)
+        env.step([np.array([0.0, 0.5, 0.0, 0.0, 0.0])])
+        half = agent.state.p_vel[0]
+        agent.state.p_vel = np.zeros(2)
+        env.step([np.array([0.0, 1.0, 0.0, 0.0, 0.0])])
+        assert agent.state.p_vel[0] > half > 0
+
+    def test_invalid_discrete_action_raises(self):
+        env = self.make_env()
+        env.reset()
+        with pytest.raises(ValueError, match="out of range"):
+            env.step([7])
+
+    def test_wrong_vector_length_raises(self):
+        env = self.make_env()
+        env.reset()
+        with pytest.raises(ValueError, match="5 entries"):
+            env.step([np.zeros(4)])
+
+
+class TestRegistry:
+    def test_available_envs_lists_paper_names(self):
+        names = available_envs()
+        assert "predator_prey" in names
+        assert "cooperative_navigation" in names
+
+    def test_mpe_aliases(self):
+        env = make("simple_tag", num_agents=3, seed=0)
+        assert env.obs_dims == [16, 16, 16]
+        env = make("simple_spread", num_agents=3, seed=0)
+        assert env.obs_dims == [18, 18, 18]
+
+    def test_unknown_env_raises(self):
+        with pytest.raises(KeyError, match="unknown environment"):
+            make("pong", num_agents=2)
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(TypeError, match="unexpected"):
+            make("predator_prey", num_agents=3, bogus=1)
+
+    def test_invalid_agent_count(self):
+        with pytest.raises(ValueError):
+            make("predator_prey", num_agents=0)
+
+    def test_register_custom_and_duplicate_rejected(self):
+        def factory(num_agents, seed, **kwargs):
+            return make("cooperative_navigation", num_agents=num_agents, seed=seed)
+
+        register("custom_env_for_test", factory)
+        env = make("custom_env_for_test", num_agents=2, seed=0)
+        assert env.num_agents == 2
+        with pytest.raises(ValueError, match="already registered"):
+            register("custom_env_for_test", factory)
+
+
+class TestScriptedPrey:
+    def test_prey_is_not_a_policy_agent(self):
+        env = make("predator_prey", num_agents=3, seed=0)
+        # 3 predators + 1 prey exist, but only 3 policy agents are exposed
+        assert env.num_agents == 3
+        assert len(env.world.agents) == 4
+
+    def test_prey_flees_nearest_predator(self):
+        scenario = PredatorPreyScenario(num_predators=1, num_prey=1, shaped=False)
+        world = scenario.make_world(np.random.default_rng(0))
+        predator = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        predator.state.p_pos = np.array([0.0, 0.0])
+        prey.state.p_pos = np.array([0.1, 0.0])
+        action = FleePolicy()(prey, world)
+        assert action.u[0] > 0  # flee along +x, away from the predator
+
+    def test_prey_pulled_back_inside_bound(self):
+        scenario = PredatorPreyScenario(num_predators=1, num_prey=1, shaped=False)
+        world = scenario.make_world(np.random.default_rng(0))
+        predator = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        predator.state.p_pos = np.array([10.0, 10.0])  # far away
+        prey.state.p_pos = np.array([3.0, 0.0])  # way out of bounds
+        action = FleePolicy()(prey, world)
+        assert action.u[0] < 0  # pulled back toward center
+
+    def test_overlapping_predator_still_finite(self):
+        scenario = PredatorPreyScenario(num_predators=1, num_prey=1, shaped=False)
+        world = scenario.make_world(np.random.default_rng(0))
+        predator = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        predator.state.p_pos = prey.state.p_pos.copy()
+        action = FleePolicy()(prey, world)
+        assert np.all(np.isfinite(action.u))
+        assert np.linalg.norm(action.u) > 0
+
+    def test_prey_moves_during_env_steps(self):
+        env = make("predator_prey", num_agents=3, seed=0)
+        env.reset()
+        prey = [a for a in env.world.agents if not a.adversary][0]
+        before = prey.state.p_pos.copy()
+        for _ in range(5):
+            env.step([0, 0, 0])
+        assert not np.allclose(prey.state.p_pos, before)

@@ -1,0 +1,169 @@
+"""Scenario tests: paper observation dimensions, rewards, sizing rules."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    CooperativeNavigationScenario,
+    PredatorPreyScenario,
+    default_prey_counts,
+    make,
+)
+
+
+class TestPredatorPreySizing:
+    def test_paper_3_agent_layout(self):
+        # classic simple_tag: 3 predators, 1 prey, 2 landmarks
+        assert default_prey_counts(3) == (1, 2)
+
+    def test_paper_24_agent_layout(self):
+        # paper §II-B: agents 25-32 are preys -> 8 preys; Box(98) needs 8 landmarks
+        assert default_prey_counts(24) == (8, 8)
+
+    def test_invalid_predator_count(self):
+        with pytest.raises(ValueError):
+            default_prey_counts(0)
+
+
+class TestPredatorPreyObservations:
+    @pytest.mark.parametrize(
+        "num_agents,expected_dim",
+        [(3, 16), (24, 98)],
+    )
+    def test_predator_obs_dims_match_paper(self, num_agents, expected_dim):
+        env = make("predator_prey", num_agents=num_agents, seed=0)
+        assert all(d == expected_dim for d in env.obs_dims)
+
+    def test_prey_obs_dim_at_3_agents(self):
+        # paper: agent 4 (Prey) has Box(14,)
+        scenario = PredatorPreyScenario(num_predators=3)
+        rng = np.random.default_rng(0)
+        world = scenario.make_world(rng)
+        prey = scenario.preys(world)[0]
+        assert scenario.observation(prey, world).shape == (14,)
+
+    def test_prey_obs_dim_at_24_agents(self):
+        # paper: agents 25-32 (Preys) have Box(96,)
+        scenario = PredatorPreyScenario(num_predators=24)
+        rng = np.random.default_rng(0)
+        world = scenario.make_world(rng)
+        prey = scenario.preys(world)[0]
+        assert scenario.observation(prey, world).shape == (96,)
+
+    def test_observation_is_relative(self):
+        scenario = PredatorPreyScenario(num_predators=3, shaped=False)
+        rng = np.random.default_rng(0)
+        world = scenario.make_world(rng)
+        pred = scenario.predators(world)[0]
+        obs = scenario.observation(pred, world)
+        # entries 0..1 are own velocity (zero after reset)
+        np.testing.assert_array_equal(obs[:2], np.zeros(2))
+        # entries 2..3 are own position
+        np.testing.assert_array_equal(obs[2:4], pred.state.p_pos)
+
+
+class TestPredatorPreyRewards:
+    def make(self, shaped=False):
+        scenario = PredatorPreyScenario(num_predators=3, shaped=shaped)
+        world = scenario.make_world(np.random.default_rng(0))
+        return scenario, world
+
+    def test_catch_rewards_predator_and_penalizes_prey(self):
+        scenario, world = self.make()
+        pred = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        prey.state.p_pos = pred.state.p_pos.copy()  # overlapping = caught
+        assert scenario.reward(pred, world) == pytest.approx(10.0)
+        assert scenario.reward(prey, world) <= -10.0
+
+    def test_no_collision_no_sparse_reward(self):
+        scenario, world = self.make()
+        pred = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        pred.state.p_pos = np.array([0.0, 0.0])
+        prey.state.p_pos = np.array([0.5, 0.5])
+        for other in world.agents:
+            if other is not pred and other is not prey:
+                other.state.p_pos = np.array([-0.7, -0.7])
+        assert scenario.reward(pred, world) == pytest.approx(0.0)
+
+    def test_shaped_reward_decreases_with_distance(self):
+        scenario, world = self.make(shaped=True)
+        pred = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        for other in world.agents:
+            other.state.p_pos = np.array([10.0, 10.0])
+        pred.state.p_pos = np.array([0.0, 0.0])
+        prey.state.p_pos = np.array([0.5, 0.0])
+        near = scenario.reward(pred, world)
+        prey.state.p_pos = np.array([5.0, 0.0])
+        far = scenario.reward(pred, world)
+        assert near > far
+
+    def test_prey_bound_penalty_escalates(self):
+        penalty = PredatorPreyScenario._bound_penalty
+        assert penalty(0.5) == 0.0
+        assert penalty(0.95) > 0.0
+        assert penalty(1.5) > penalty(0.95)
+        assert penalty(3.0) == 10.0  # capped
+
+    def test_benchmark_data_counts_collisions(self):
+        scenario, world = self.make()
+        pred = scenario.predators(world)[0]
+        prey = scenario.preys(world)[0]
+        prey.state.p_pos = pred.state.p_pos.copy()
+        assert scenario.benchmark_data(pred, world)["collisions"] >= 1
+
+
+class TestCooperativeNavigation:
+    @pytest.mark.parametrize("n,expected", [(3, 18), (6, 36), (12, 72), (24, 144)])
+    def test_obs_dims_match_paper(self, n, expected):
+        # paper §II-B: Box(18)/Box(36)/Box(72)/Box(144)
+        env = make("cooperative_navigation", num_agents=n, seed=0)
+        assert all(d == expected for d in env.obs_dims)
+
+    def test_reward_shared_coverage_term(self):
+        scenario = CooperativeNavigationScenario(num_agents=2)
+        world = scenario.make_world(np.random.default_rng(0))
+        # put every agent exactly on a landmark, far apart (no collisions)
+        world.agents[0].state.p_pos = np.array([-0.5, 0.0])
+        world.agents[1].state.p_pos = np.array([0.5, 0.0])
+        world.landmarks[0].state.p_pos = np.array([-0.5, 0.0])
+        world.landmarks[1].state.p_pos = np.array([0.5, 0.0])
+        assert scenario.reward(world.agents[0], world) == pytest.approx(0.0)
+
+    def test_reward_decreases_with_distance(self):
+        scenario = CooperativeNavigationScenario(num_agents=1)
+        world = scenario.make_world(np.random.default_rng(0))
+        world.agents[0].state.p_pos = np.zeros(2)
+        world.landmarks[0].state.p_pos = np.array([1.0, 0.0])
+        near = scenario.reward(world.agents[0], world)
+        world.landmarks[0].state.p_pos = np.array([2.0, 0.0])
+        far = scenario.reward(world.agents[0], world)
+        assert near > far
+
+    def test_collision_penalty_applied(self):
+        scenario = CooperativeNavigationScenario(num_agents=2, collision_penalty=1.0)
+        world = scenario.make_world(np.random.default_rng(0))
+        world.agents[0].state.p_pos = np.zeros(2)
+        world.agents[1].state.p_pos = np.zeros(2)  # overlapping
+        apart = scenario.make_world(np.random.default_rng(0))
+        apart.agents[0].state.p_pos = np.zeros(2)
+        apart.agents[1].state.p_pos = np.array([5.0, 0.0])
+        for w in (world, apart):
+            for lm, pos in zip(w.landmarks, ([0.0, 1.0], [0.0, -1.0], [1.0, 1.0])):
+                lm.state.p_pos = np.array(pos)
+        colliding = scenario.reward(world.agents[0], world)
+        # same landmark geometry; collision world agents sit at the same spot
+        assert colliding < scenario.reward(apart.agents[0], apart) + 5.0
+
+    def test_landmarks_default_to_agent_count(self):
+        scenario = CooperativeNavigationScenario(num_agents=7)
+        world = scenario.make_world(np.random.default_rng(0))
+        assert len(world.landmarks) == 7
+
+    def test_benchmark_data_reports_coverage(self):
+        scenario = CooperativeNavigationScenario(num_agents=2)
+        world = scenario.make_world(np.random.default_rng(0))
+        data = scenario.benchmark_data(world.agents[0], world)
+        assert "coverage" in data and data["coverage"] <= 0.0

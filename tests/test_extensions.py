@@ -1,0 +1,193 @@
+"""Tests for extension features: physical deception, rendering, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.envs import (
+    PhysicalDeceptionScenario,
+    make,
+    render_episode_frame,
+    render_world,
+)
+
+
+class TestPhysicalDeception:
+    def make_scenario(self, **kw):
+        scenario = PhysicalDeceptionScenario(**kw)
+        world = scenario.make_world(np.random.default_rng(0))
+        return scenario, world
+
+    def test_agent_composition(self):
+        scenario, world = self.make_scenario(num_good=2, num_adversaries=1)
+        assert len(scenario.good_agents(world)) == 2
+        assert len(scenario.adversaries(world)) == 1
+
+    def test_observation_dims(self):
+        # adversary: 2L + 2(A-1); good: 2 + 2L + 2(A-1) with L=2, A=3
+        scenario, world = self.make_scenario(num_good=2, num_adversaries=1, num_landmarks=2)
+        adv = scenario.adversaries(world)[0]
+        good = scenario.good_agents(world)[0]
+        assert scenario.observation(adv, world).shape == (4 + 4,)
+        assert scenario.observation(good, world).shape == (2 + 4 + 4,)
+
+    def test_adversary_rewarded_for_goal_proximity(self):
+        scenario, world = self.make_scenario()
+        adv = scenario.adversaries(world)[0]
+        goal = scenario.goal(world)
+        adv.state.p_pos = goal.state.p_pos.copy()
+        near = scenario.reward(adv, world)
+        adv.state.p_pos = goal.state.p_pos + 5.0
+        far = scenario.reward(adv, world)
+        assert near > far
+
+    def test_good_agents_rewarded_for_coverage_and_deception(self):
+        scenario, world = self.make_scenario()
+        good = scenario.good_agents(world)[0]
+        adv = scenario.adversaries(world)[0]
+        goal = scenario.goal(world)
+        # good on goal, adversary far: best case
+        good.state.p_pos = goal.state.p_pos.copy()
+        for other in scenario.good_agents(world)[1:]:
+            other.state.p_pos = goal.state.p_pos + 3.0
+        adv.state.p_pos = goal.state.p_pos + 5.0
+        best = scenario.reward(good, world)
+        # adversary on goal: worst case
+        adv.state.p_pos = goal.state.p_pos.copy()
+        worst = scenario.reward(good, world)
+        assert best > worst
+
+    def test_goal_hidden_from_adversary_observation(self):
+        """Adversary obs must not change when the goal index changes."""
+        scenario, world = self.make_scenario(num_landmarks=3)
+        adv = scenario.adversaries(world)[0]
+        scenario._goal_index = 0
+        obs_a = scenario.observation(adv, world)
+        scenario._goal_index = 2
+        obs_b = scenario.observation(adv, world)
+        np.testing.assert_array_equal(obs_a, obs_b)
+        # while the good agent's observation does change
+        good = scenario.good_agents(world)[0]
+        scenario._goal_index = 0
+        good_a = scenario.observation(good, world)
+        scenario._goal_index = 2
+        good_b = scenario.observation(good, world)
+        assert not np.allclose(good_a, good_b)
+
+    def test_registered_env_runs(self):
+        env = make("physical_deception", num_agents=2, seed=0)
+        obs = env.reset()
+        assert len(obs) == 3  # 1 adversary + 2 good
+        o, r, d, _ = env.step([0, 1, 2])
+        assert len(r) == 3 and all(np.isfinite(x) for x in r)
+
+    def test_goal_varies_across_resets(self):
+        env = make("physical_deception", num_agents=2, seed=0, num_landmarks=4)
+        scenario = env.scenario
+        goals = set()
+        for _ in range(30):
+            env.reset()
+            goals.add(scenario._goal_index)
+        assert len(goals) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalDeceptionScenario(num_good=0)
+        with pytest.raises(ValueError):
+            PhysicalDeceptionScenario(num_landmarks=1)
+
+
+class TestRendering:
+    def test_render_contains_entities(self):
+        env = make("predator_prey", num_agents=3, seed=0)
+        env.reset()
+        art = render_world(env.world)
+        assert art.count("P") >= 1  # predators visible
+        assert "#" in art  # landmarks visible
+        assert art.startswith("+") and art.endswith("+")
+
+    def test_render_dimensions(self):
+        env = make("cooperative_navigation", num_agents=2, seed=0)
+        env.reset()
+        art = render_world(env.world, width=21, height=7)
+        lines = art.splitlines()
+        assert len(lines) == 9  # 7 rows + 2 borders
+        assert all(len(line) == 23 for line in lines)
+
+    def test_out_of_extent_entities_clipped_not_crashing(self):
+        env = make("cooperative_navigation", num_agents=1, seed=0)
+        env.reset()
+        env.agents[0].state.p_pos = np.array([100.0, 100.0])
+        render_world(env.world)  # no exception
+
+    def test_episode_frame_includes_step_and_rewards(self):
+        env = make("cooperative_navigation", num_agents=2, seed=0)
+        env.reset()
+        frame = render_episode_frame(env.world, step=7, rewards=[1.0, -2.0])
+        assert "step 7" in frame
+        assert "+1.00" in frame and "-2.00" in frame
+
+    def test_invalid_geometry(self):
+        env = make("cooperative_navigation", num_agents=1, seed=0)
+        with pytest.raises(ValueError):
+            render_world(env.world, width=2)
+        with pytest.raises(ValueError):
+            render_world(env.world, extent=0.0)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("train", "profile", "sample", "envs", "variants"):
+            args = parser.parse_args(
+                [command] if command in ("envs", "variants") else [command, "--seed", "1"]
+            )
+            assert args.command == command
+
+    def test_envs_command(self, capsys):
+        assert main(["envs"]) == 0
+        out = capsys.readouterr().out
+        assert "predator_prey" in out
+        assert "cooperative_navigation" in out
+
+    def test_variants_command(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "info_prioritized" in out
+
+    def test_train_command(self, capsys, tmp_path):
+        json_path = str(tmp_path / "run.json")
+        code = main([
+            "train",
+            "--episodes", "3",
+            "--agents", "2",
+            "--batch-size", "16",
+            "--buffer", "256",
+            "--update-every", "10",
+            "--save-json", json_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "done:" in out
+        from repro.training import RunResult
+
+        result = RunResult.from_json(json_path)
+        assert result.episodes == 3
+
+    def test_profile_command(self, capsys):
+        code = main([
+            "profile", "--agents", "2", "--batch-size", "64", "--rounds", "1",
+        ])
+        assert code == 0
+        assert "sampling" in capsys.readouterr().out
+
+    def test_sample_command(self, capsys):
+        code = main([
+            "sample", "--agents", "2", "--batch-size", "64", "--rows", "256",
+            "--rounds", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out
+        assert "info_prioritized" in out

@@ -1,0 +1,169 @@
+"""Integration tests: cross-module behaviour the paper's claims rest on."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algos import MARLConfig
+from repro.core import (
+    CacheAwareSampler,
+    InformationPrioritizedSampler,
+    PrioritizedSampler,
+    UniformSampler,
+)
+from repro.experiments import WorkloadSpec, run_workload
+from repro.training import compare_curves, evaluate_policy
+
+
+TINY = MARLConfig(batch_size=32, buffer_capacity=2048, update_every=20)
+
+
+def run(variant, algorithm="maddpg", env_name="cooperative_navigation", episodes=20, seed=11):
+    spec = WorkloadSpec(
+        algorithm=algorithm,
+        env_name=env_name,
+        num_agents=2,
+        variant=variant,
+        episodes=episodes,
+        seed=seed,
+        config=TINY,
+    )
+    return run_workload(spec)
+
+
+class TestAllVariantsTrainEndToEnd:
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            "baseline",
+            "baseline_vectorized",
+            "cache_aware_n16_r2",
+            "per",
+            "info_prioritized",
+            "layout",
+            "layout_lazy",
+        ],
+    )
+    def test_variant_trains_without_error(self, variant):
+        result = run(variant, episodes=6)
+        assert result.episodes == 6
+        assert all(np.isfinite(r) for r in result.episode_rewards)
+        assert result.update_rounds > 0
+
+    @pytest.mark.parametrize("algorithm", ["maddpg", "matd3"])
+    @pytest.mark.parametrize("env_name", ["predator_prey", "cooperative_navigation"])
+    def test_paper_workload_matrix_cell(self, algorithm, env_name):
+        result = run("baseline", algorithm=algorithm, env_name=env_name, episodes=4)
+        assert result.algorithm == algorithm
+        assert result.env_steps == 4 * 25
+
+
+class TestPhaseProfileShape:
+    def test_update_all_trainers_recorded(self):
+        result = run("baseline", episodes=10)
+        totals = result.phase_totals
+        assert totals.get("update_all_trainers", 0) > 0
+        assert totals.get("update_all_trainers.sampling", 0) > 0
+        assert totals.get("action_selection", 0) > 0
+
+    def test_sampling_dominates_at_paper_batch_geometry(self):
+        """Paper Fig. 3: sampling is the largest update sub-phase.
+
+        The reproduction's network updates run on numpy-CPU instead of
+        the paper's GPU; the GPU-projected view (network phases rescaled
+        by the platform model's GPU/CPU ratio) recovers the paper's
+        phase shape: sampling ~50% at 3 agents, growing with N.
+        """
+        from repro.experiments import fill_replay
+        from repro.profiling.breakdown import gpu_compute_scale, update_breakdown
+
+        config = MARLConfig(batch_size=1024, buffer_capacity=4096, update_every=50)
+        env = repro.make_env("predator_prey", num_agents=6, seed=0)
+        trainer = repro.make_trainer(
+            "maddpg", "baseline", env.obs_dims, env.act_dims, config=config, seed=0
+        )
+        rng = np.random.default_rng(0)
+        fill_replay(trainer.replay, rng, 1500)
+        for _ in range(3):
+            trainer.update(force=True)
+        scale = gpu_compute_scale(env.obs_dims, env.act_dims, config.batch_size)
+        projected = update_breakdown(trainer.timer, compute_scale=scale)
+        assert projected.sampling_pct > projected.target_q_pct
+        assert projected.sampling_pct > projected.loss_pct
+        # raw CPU-substrate view: sampling is still a major phase (>15%)
+        raw = update_breakdown(trainer.timer)
+        assert raw.sampling_pct > 15.0
+
+
+class TestLearningEquivalence:
+    """Figures 10-11: optimized samplers track the baseline's learning."""
+
+    def test_cache_aware_preserves_learning_curve(self):
+        base = run("baseline", episodes=25, seed=3)
+        opt = run("cache_aware_n16_r2", episodes=25, seed=3)
+        cmp = compare_curves(base, opt, window=10)
+        assert cmp.equivalent(tolerance=0.6)  # loose at tiny scale
+
+    def test_info_prioritized_tracks_per(self):
+        base = run("per", episodes=25, seed=3)
+        opt = run("info_prioritized", episodes=25, seed=3)
+        cmp = compare_curves(base, opt, window=10)
+        assert cmp.equivalent(tolerance=0.6)
+
+    def test_training_improves_over_initial_policy(self):
+        """Cooperative navigation reward improves with training."""
+        env = repro.make_env("cooperative_navigation", num_agents=2, seed=9)
+        cfg = MARLConfig(batch_size=32, buffer_capacity=4096, update_every=10)
+        trainer = repro.make_trainer(
+            "maddpg", "baseline", env.obs_dims, env.act_dims, config=cfg, seed=9
+        )
+        before = evaluate_policy(env, trainer, episodes=5)
+        repro.train(env, trainer, episodes=60)
+        after = evaluate_policy(env, trainer, episodes=5)
+        assert after > before
+
+
+class TestSamplerDataConsistency:
+    """All samplers must deliver rows that exist at the claimed indices."""
+
+    @pytest.mark.parametrize(
+        "sampler_factory",
+        [
+            lambda: UniformSampler(),
+            lambda: CacheAwareSampler(neighbors=8, refs=4),
+        ],
+    )
+    def test_unprioritized_samplers(self, rng, small_replay, sampler_factory):
+        batch = sampler_factory().sample(small_replay, rng, batch_size=32)
+        for k, buf in enumerate(small_replay.buffers):
+            ref = buf.gather_vectorized(batch.indices)
+            np.testing.assert_array_equal(batch.agents[k].obs, ref[0])
+            np.testing.assert_array_equal(batch.agents[k].next_obs, ref[3])
+
+    @pytest.mark.parametrize(
+        "sampler_factory",
+        [
+            lambda: PrioritizedSampler(),
+            lambda: InformationPrioritizedSampler(),
+        ],
+    )
+    def test_prioritized_samplers(self, rng, prioritized_replay, sampler_factory):
+        batch = sampler_factory().sample(prioritized_replay, rng, batch_size=32)
+        for k, buf in enumerate(prioritized_replay.buffers):
+            ref = buf.gather_vectorized(batch.indices)
+            np.testing.assert_array_equal(batch.agents[k].obs, ref[0])
+
+
+class TestLayoutEquivalence:
+    def test_layout_run_matches_baseline_statistics(self):
+        """Layout-reorganized training consumes identical data content."""
+        base = run("baseline", episodes=10, seed=21)
+        layout = run("layout", episodes=10, seed=21)
+        # same env seed, same exploration seed: episode rewards before the
+        # first update are identical; after updates they stay finite
+        assert layout.episode_rewards[0] == pytest.approx(base.episode_rewards[0])
+        assert all(np.isfinite(layout.episode_rewards))
+
+    def test_layout_lazy_pays_reorganizations(self):
+        result = run("layout_lazy", episodes=8, seed=2)
+        assert result.extra.get("reorganizations", 0) >= 1

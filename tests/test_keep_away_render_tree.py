@@ -1,0 +1,126 @@
+"""Tests for the keep-away scenario and the PhaseTimer tree renderer."""
+
+import numpy as np
+import pytest
+
+from repro.envs import KeepAwayScenario, make
+from repro.profiling import PhaseTimer
+
+
+class TestKeepAwayScenario:
+    def make_scenario(self, **kw):
+        scenario = KeepAwayScenario(**kw)
+        world = scenario.make_world(np.random.default_rng(0))
+        return scenario, world
+
+    def test_composition(self):
+        scenario, world = self.make_scenario(num_good=2, num_adversaries=1)
+        assert len(scenario.good_agents(world)) == 2
+        assert len(scenario.adversaries(world)) == 1
+
+    def test_observation_dims(self):
+        # adversary: vel(2)+2L(4)+others(2); good: vel(2)+goal(2)+2L(4)+others(2)
+        scenario, world = self.make_scenario(num_good=1, num_adversaries=1, num_landmarks=2)
+        adv = scenario.adversaries(world)[0]
+        good = scenario.good_agents(world)[0]
+        assert scenario.observation(adv, world).shape == (8,)
+        assert scenario.observation(good, world).shape == (10,)
+
+    def test_good_agent_rewarded_for_goal_proximity(self):
+        scenario, world = self.make_scenario()
+        good = scenario.good_agents(world)[0]
+        goal = scenario.goal(world)
+        good.state.p_pos = goal.state.p_pos.copy()
+        assert scenario.reward(good, world) == pytest.approx(0.0)
+        good.state.p_pos = goal.state.p_pos + 2.0
+        assert scenario.reward(good, world) < -1.0
+
+    def test_adversary_rewarded_for_displacing_good_agent(self):
+        scenario, world = self.make_scenario()
+        good = scenario.good_agents(world)[0]
+        adv = scenario.adversaries(world)[0]
+        goal = scenario.goal(world)
+        adv.state.p_pos = goal.state.p_pos.copy()  # adversary holds the spot
+        good.state.p_pos = goal.state.p_pos + 3.0
+        holding = scenario.reward(adv, world)
+        good.state.p_pos = goal.state.p_pos.copy()  # good agent reaches it
+        contested = scenario.reward(adv, world)
+        assert holding > contested
+
+    def test_agents_physically_collide(self):
+        env = make("keep_away", num_agents=1, seed=0)
+        env.reset()
+        adv, good = env.world.agents
+        adv.state.p_pos = np.zeros(2)
+        good.state.p_pos = np.array([0.05, 0.0])
+        adv.state.p_vel = np.zeros(2)
+        good.state.p_vel = np.zeros(2)
+        env.step([0, 0])
+        assert good.state.p_vel[0] > 0  # pushed away
+
+    def test_registered_aliases(self):
+        a = make("keep_away", num_agents=1, seed=0)
+        b = make("simple_push", num_agents=1, seed=0)
+        assert a.obs_dims == b.obs_dims
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeepAwayScenario(num_good=0)
+        with pytest.raises(ValueError):
+            KeepAwayScenario(num_landmarks=0)
+
+    def test_trains_end_to_end(self):
+        import repro
+
+        env = make("keep_away", num_agents=1, seed=0)
+        cfg = repro.MARLConfig(batch_size=32, buffer_capacity=512, update_every=20)
+        trainer = repro.make_trainer(
+            "maddpg", "baseline", env.obs_dims, env.act_dims, config=cfg, seed=0
+        )
+        result = repro.train(env, trainer, episodes=4)
+        assert result.update_rounds > 0
+        assert all(np.isfinite(r) for r in result.episode_rewards)
+
+
+class TestRenderTree:
+    def make_timer(self):
+        t = PhaseTimer()
+        t.add("action_selection", 0.2, 10)
+        t.add("update_all_trainers", 0.8, 5)
+        t.add("update_all_trainers.sampling", 0.5, 5)
+        t.add("update_all_trainers.target_q", 0.2, 5)
+        return t
+
+    def test_tree_structure(self):
+        text = self.make_timer().render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("action_selection")
+        assert any(line.startswith("  sampling") for line in lines)
+        assert any("(unaccounted)" in line for line in lines)
+
+    def test_percentages_sum_sensibly(self):
+        text = self.make_timer().render_tree()
+        assert " 20.0%" in text  # action selection
+        assert " 80.0%" in text  # update all trainers
+        assert " 50.0%" in text  # sampling
+
+    def test_counts_shown(self):
+        assert "x10" in self.make_timer().render_tree()
+
+    def test_explicit_total_rescales(self):
+        text = self.make_timer().render_tree(total=2.0)
+        assert " 10.0%" in text  # action selection now 0.2/2.0
+
+    def test_empty_timer(self):
+        assert PhaseTimer().render_tree() == "(no phases recorded)"
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            self.make_timer().render_tree(total=0.0)
+
+    def test_fully_accounted_parent_has_no_unaccounted_line(self):
+        t = PhaseTimer()
+        t.add("u", 1.0)
+        t.add("u.a", 0.4)
+        t.add("u.b", 0.6)
+        assert "(unaccounted)" not in t.render_tree()

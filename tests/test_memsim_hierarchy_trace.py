@@ -1,0 +1,231 @@
+"""Tests for the composed hierarchy, address maps, traces, and reports."""
+
+import numpy as np
+import pytest
+
+from repro.buffers.transition import FLOAT_BYTES, JointSchema
+from repro.core.indices import Run, expand_runs
+from repro.memsim import (
+    AccessCounts,
+    AgentMajorAddressMap,
+    CounterModel,
+    GrowthTable,
+    MemoryHierarchy,
+    TimestepMajorAddressMap,
+    growth_rates,
+    kv_gather_trace,
+    reduction_percent,
+    trainer_gather_trace,
+    update_round_trace,
+)
+
+
+@pytest.fixture
+def schema():
+    return JointSchema.from_dims([16, 16, 14], [5, 5, 5])
+
+
+class TestAddressMaps:
+    def test_agent_major_regions_disjoint(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=1000)
+        bases = [r.base for fields in amap.regions for r in fields]
+        assert len(bases) == len(set(bases))
+        assert len(bases) == 3 * 5  # 3 agents x 5 field arrays
+
+    def test_row_addresses_cover_row_bytes(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=1000, line_bytes=64)
+        addrs = list(amap.row_addresses(0, 0))
+        # obs rows are 16*8=128B -> 2 lines; act 40B -> 1; rew 8B -> 1;
+        # next_obs 2; done 1 => 7 lines (alignment may add at most 1/field)
+        assert 7 <= len(addrs) <= 12
+
+    def test_sequential_rows_are_adjacent(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=1000)
+        first = amap.regions[0][0].row_range(0)
+        second = amap.regions[0][0].row_range(1)
+        assert second[0] == first[1]
+
+    def test_bytes_per_row(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=10)
+        assert amap.bytes_per_row(0) == schema.agents[0].width * FLOAT_BYTES
+
+    def test_row_out_of_range(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=10)
+        with pytest.raises(IndexError):
+            list(amap.row_addresses(0, 10))
+
+    def test_timestep_major_single_region(self, schema):
+        tmap = TimestepMajorAddressMap(schema, capacity=100)
+        assert tmap.bytes_per_row() == schema.width * FLOAT_BYTES
+        addrs = list(tmap.row_addresses(5))
+        expected_lines = int(np.ceil(schema.width * FLOAT_BYTES / 64)) + 1
+        assert len(addrs) <= expected_lines
+
+    def test_invalid_capacity(self, schema):
+        with pytest.raises(ValueError):
+            AgentMajorAddressMap(schema, capacity=0)
+
+
+class TestHierarchy:
+    def test_sequential_beats_random(self, schema):
+        rng = np.random.default_rng(0)
+        amap = AgentMajorAddressMap(schema, capacity=50_000)
+        random_idx = rng.integers(0, 50_000, size=512)
+        runs = [Run(int(s), 64) for s in rng.integers(0, 50_000, size=8)]
+        seq_idx = expand_runs(runs, 50_000)
+        random_counts = MemoryHierarchy().run(trainer_gather_trace(amap, random_idx))
+        seq_counts = MemoryHierarchy().run(trainer_gather_trace(amap, seq_idx))
+        assert seq_counts.cache_misses < random_counts.cache_misses
+        assert seq_counts.dtlb_misses < random_counts.dtlb_misses
+
+    def test_kv_layout_touches_fewer_lines_than_agent_major(self, schema):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 50_000, size=256)
+        amap = AgentMajorAddressMap(schema, capacity=50_000)
+        tmap = TimestepMajorAddressMap(schema, capacity=50_000)
+        am = MemoryHierarchy().run(trainer_gather_trace(amap, idx))
+        kv = MemoryHierarchy().run(kv_gather_trace(tmap, idx))
+        assert kv.accesses < am.accesses
+        assert kv.cache_misses < am.cache_misses
+
+    def test_repeat_trace_hits_when_resident(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=16)
+        sim = MemoryHierarchy()
+        idx = list(range(16))
+        first = sim.run(trainer_gather_trace(amap, idx))
+        second = sim.run(trainer_gather_trace(amap, idx))
+        # tiny working set stays LLC-resident; L1 may keep a few conflict
+        # misses from prefetch pollution, but far fewer than a cold pass
+        assert second.cache_misses == 0
+        assert second.dtlb_misses == 0
+        assert second.l1_misses < first.l1_misses / 2
+
+    def test_update_round_trace_scales_with_trainers(self, schema):
+        rng = np.random.default_rng(0)
+        amap = AgentMajorAddressMap(schema, capacity=50_000)
+        one = MemoryHierarchy().run(
+            update_round_trace(amap, [rng.integers(0, 50_000, size=128)])
+        )
+        three = MemoryHierarchy().run(
+            update_round_trace(
+                amap, [rng.integers(0, 50_000, size=128) for _ in range(3)]
+            )
+        )
+        assert three.accesses == pytest.approx(3 * one.accesses, rel=0.01)
+
+    def test_snapshot_accumulates(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=100)
+        sim = MemoryHierarchy()
+        sim.run(trainer_gather_trace(amap, [0, 1]))
+        snap = sim.snapshot()
+        assert snap.accesses > 0
+
+    def test_reset_clears(self, schema):
+        amap = AgentMajorAddressMap(schema, capacity=100)
+        sim = MemoryHierarchy()
+        sim.run(trainer_gather_trace(amap, [0, 1]))
+        sim.reset()
+        assert sim.snapshot().accesses == 0
+
+    def test_no_prefetcher_configuration(self, schema):
+        from repro.memsim import HierarchyConfig
+
+        sim = MemoryHierarchy(HierarchyConfig(prefetcher=None))
+        amap = AgentMajorAddressMap(schema, capacity=1000)
+        counts = sim.run(trainer_gather_trace(amap, list(range(64))))
+        assert counts.prefetches_issued == 0
+
+
+class TestCounterModel:
+    def make_counts(self, misses=100):
+        return AccessCounts(accesses=1000, l3_misses=misses)
+
+    def test_instructions_scale_with_rows(self):
+        model = CounterModel()
+        small = model.estimate(3, 3, 128, self.make_counts())
+        large = model.estimate(6, 6, 128, self.make_counts())
+        assert large.instructions == pytest.approx(4 * small.instructions, rel=0.05)
+
+    def test_branch_misses_couple_to_cache_misses(self):
+        model = CounterModel()
+        low = model.estimate(3, 3, 128, self.make_counts(misses=0))
+        high = model.estimate(3, 3, 128, self.make_counts(misses=10_000))
+        assert high.branch_misses > low.branch_misses
+
+    def test_itlb_proportional_to_instructions(self):
+        model = CounterModel()
+        est = model.estimate(3, 3, 1024, self.make_counts())
+        expected = est.instructions / 1e6 * model.itlb_miss_per_megainstruction
+        assert est.itlb_misses == int(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterModel().estimate(0, 3, 128, self.make_counts())
+
+
+class TestReports:
+    def test_growth_rates(self):
+        per_scale = {
+            3: {"cache_misses": 100.0},
+            6: {"cache_misses": 300.0},
+            12: {"cache_misses": 1200.0},
+        }
+        rates = growth_rates(per_scale, ["cache_misses"])
+        assert rates[(3, 6)]["cache_misses"] == pytest.approx(3.0)
+        assert rates[(6, 12)]["cache_misses"] == pytest.approx(4.0)
+
+    def test_growth_requires_two_scales(self):
+        with pytest.raises(ValueError):
+            growth_rates({3: {"x": 1.0}}, ["x"])
+
+    def test_growth_zero_base_raises(self):
+        with pytest.raises(ValueError):
+            growth_rates({3: {"x": 0.0}, 6: {"x": 1.0}}, ["x"])
+
+    def test_reduction_percent(self):
+        assert reduction_percent(10.0, 8.0) == pytest.approx(20.0)
+        assert reduction_percent(10.0, 13.7) == pytest.approx(-37.0)
+
+    def test_reduction_validation(self):
+        with pytest.raises(ValueError):
+            reduction_percent(0.0, 1.0)
+
+    def test_growth_table_renders(self):
+        table = GrowthTable.from_measurements(
+            {3: {"x": 1.0}, 6: {"x": 3.5}}, ["x"]
+        )
+        text = table.render()
+        assert "3 -> 6" in text and "3.50x" in text
+
+
+class TestBufferWriteTrace:
+    """The experience-storage write stream (Figure 2's 'other segments')."""
+
+    def test_sequential_writes_barely_miss(self, schema):
+        from repro.memsim import MemoryHierarchy, buffer_write_trace
+        from repro.memsim.address_map import AgentMajorAddressMap
+
+        amap = AgentMajorAddressMap(schema, 50_000)
+        writes = MemoryHierarchy().run(buffer_write_trace(amap, 0, 1024))
+        rng = np.random.default_rng(0)
+        reads = MemoryHierarchy().run(
+            trainer_gather_trace(amap, rng.integers(0, 50_000, 1024))
+        )
+        # the asymmetry that makes sampling, not storage, the bottleneck
+        assert writes.cache_misses < reads.cache_misses / 50
+
+    def test_ring_wraparound(self, schema):
+        from repro.memsim import buffer_write_trace
+        from repro.memsim.address_map import AgentMajorAddressMap
+
+        amap = AgentMajorAddressMap(schema, capacity=10)
+        addrs = list(buffer_write_trace(amap, start_row=8, num_steps=4))
+        assert len(addrs) > 0  # rows 8, 9, 0, 1 — no IndexError at the wrap
+
+    def test_validation(self, schema):
+        from repro.memsim import buffer_write_trace
+        from repro.memsim.address_map import AgentMajorAddressMap
+
+        amap = AgentMajorAddressMap(schema, capacity=10)
+        with pytest.raises(ValueError):
+            list(buffer_write_trace(amap, 0, 0))

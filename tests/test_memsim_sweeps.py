@@ -1,0 +1,77 @@
+"""Tests for the memory-hierarchy sensitivity sweeps."""
+
+import pytest
+
+from repro.memsim import (
+    SweepPoint,
+    cache_capacity_sweep,
+    prefetcher_degree_sweep,
+    working_set_sweep,
+)
+
+OBS = [8] * 2
+ACT = [3] * 2
+
+
+class TestWorkingSetSweep:
+    def test_misses_grow_with_occupancy(self):
+        points = working_set_sweep(
+            OBS, ACT, occupancies=(512, 16_384), batch=256, l3_mib=2
+        )
+        assert points[0].cache_misses < points[1].cache_misses
+
+    def test_resident_working_set_barely_misses(self):
+        points = working_set_sweep(OBS, ACT, occupancies=(512,), batch=256, l3_mib=8)
+        assert points[0].cache_misses < 50
+
+    def test_occupancy_below_batch_rejected(self):
+        with pytest.raises(ValueError):
+            working_set_sweep(OBS, ACT, occupancies=(64,), batch=256)
+
+    def test_point_render(self):
+        points = working_set_sweep(OBS, ACT, occupancies=(512,), batch=256)
+        text = points[0].render("rows")
+        assert "rows=512" in text and "LLC" in text
+
+
+class TestCacheCapacitySweep:
+    def test_bigger_llc_misses_less(self):
+        points = cache_capacity_sweep(
+            OBS, ACT, capacity=16_384, batch=256, l3_sizes_mib=(1, 16)
+        )
+        assert points[0].cache_misses > points[1].cache_misses
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            cache_capacity_sweep(OBS, ACT, l3_sizes_mib=(0,))
+
+    def test_dtlb_unaffected_by_llc_size(self):
+        points = cache_capacity_sweep(
+            OBS, ACT, capacity=8_192, batch=256, l3_sizes_mib=(1, 16)
+        )
+        assert points[0].dtlb_misses == points[1].dtlb_misses
+
+
+class TestPrefetcherDegreeSweep:
+    def test_prefetcher_engages_on_runs(self):
+        points = prefetcher_degree_sweep(
+            OBS, ACT, capacity=8_192, batch=256, neighbors=64, degrees=(1, 4)
+        )
+        assert all(p.prefetch_hits > 0 for p in points)
+
+    def test_higher_degree_never_hurts_much(self):
+        points = prefetcher_degree_sweep(
+            OBS, ACT, capacity=8_192, batch=256, neighbors=64, degrees=(1, 8)
+        )
+        assert points[1].cache_misses <= points[0].cache_misses * 2
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            prefetcher_degree_sweep(OBS, ACT, degrees=(0,))
+
+    def test_returns_sweep_points(self):
+        points = prefetcher_degree_sweep(
+            OBS, ACT, capacity=4_096, batch=256, neighbors=32, degrees=(2,)
+        )
+        assert isinstance(points[0], SweepPoint)
+        assert points[0].parameter == 2.0

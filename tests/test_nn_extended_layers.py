@@ -1,0 +1,100 @@
+"""Tests for the extension layers: LayerNorm and Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, LayerNorm, Linear, ReLU, Sequential
+from tests.test_nn_layers import finite_difference_check
+
+
+class TestLayerNorm:
+    def test_output_standardized(self, rng):
+        ln = LayerNorm(8)
+        out = ln(rng.standard_normal((5, 8)) * 10 + 3)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_applied(self, rng):
+        ln = LayerNorm(4)
+        ln.gamma.value[:] = 2.0
+        ln.beta.value[:] = 1.0
+        out = ln(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(out.mean(axis=1), 1.0, atol=1e-9)
+
+    def test_gradients_match_finite_difference(self, rng):
+        finite_difference_check(LayerNorm(6), rng.standard_normal((4, 6)), rng)
+
+    def test_gradients_with_affine(self, rng):
+        ln = LayerNorm(5)
+        ln.gamma.value[:] = rng.uniform(0.5, 2.0, 5)
+        ln.beta.value[:] = rng.standard_normal(5)
+        finite_difference_check(ln, rng.standard_normal((3, 5)), rng)
+
+    def test_wrong_dim_raises(self, rng):
+        with pytest.raises(ValueError, match="expected dim"):
+            LayerNorm(4)(rng.standard_normal((2, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            LayerNorm(4).backward(np.zeros((1, 4)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+        with pytest.raises(ValueError):
+            LayerNorm(4, eps=0.0)
+
+    def test_parameters_registered(self):
+        ln = LayerNorm(4)
+        assert len(ln.parameters()) == 2
+
+    def test_composes_in_sequential(self, rng):
+        net = Sequential(Linear(6, 8, rng=rng), LayerNorm(8), ReLU(), Linear(8, 2, rng=rng))
+        finite_difference_check(net, rng.standard_normal((3, 6)), rng)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(drop(x), x)
+
+    def test_training_zeroes_roughly_p_fraction(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop(x)
+        zero_fraction = np.mean(out == 0.0)
+        assert zero_fraction == pytest.approx(0.3, abs=0.02)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = drop(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_masks_gradient(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 10))
+        out = drop(x)
+        grad = drop.backward(np.ones_like(x))
+        # gradient is zero exactly where the forward output was zero
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_p_zero_is_identity_in_training(self, rng):
+        drop = Dropout(0.0, rng=rng)
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(drop(x), x)
+        np.testing.assert_array_equal(drop.backward(x), x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = Dropout(0.5, rng=np.random.default_rng(9))
+        b = Dropout(0.5, rng=np.random.default_rng(9))
+        x = np.ones((8, 8))
+        np.testing.assert_array_equal(a(x), b(x))

@@ -1,0 +1,71 @@
+"""Tests for the paper-topology MLP factories."""
+
+import numpy as np
+import pytest
+
+from repro.nn import PAPER_HIDDEN_UNITS, Linear, actor_mlp, critic_mlp, mlp
+from repro.nn.layers import Softmax, Tanh
+
+
+class TestMLPFactory:
+    def test_paper_topology(self, rng):
+        net = mlp(16, 5, rng=rng)
+        linears = [l for l in net.layers if isinstance(l, Linear)]
+        assert [l.in_features for l in linears] == [16, 64, 64]
+        assert [l.out_features for l in linears] == [64, 64, 5]
+
+    def test_paper_hidden_constant(self):
+        assert PAPER_HIDDEN_UNITS == (64, 64)
+
+    def test_custom_hidden(self, rng):
+        net = mlp(8, 2, hidden=(10,), rng=rng)
+        linears = [l for l in net.layers if isinstance(l, Linear)]
+        assert [l.out_features for l in linears] == [10, 2]
+
+    def test_output_shape(self, rng):
+        net = mlp(16, 5, rng=rng)
+        assert net(rng.standard_normal((7, 16))).shape == (7, 5)
+
+    def test_softmax_head(self, rng):
+        net = mlp(4, 3, head="softmax", rng=rng)
+        assert isinstance(net.layers[-1], Softmax)
+        out = net(rng.standard_normal((2, 4)))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(2))
+
+    def test_unknown_head_raises(self, rng):
+        with pytest.raises(KeyError, match="available"):
+            mlp(4, 3, head="banana", rng=rng)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ValueError):
+            mlp(0, 3, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        a = mlp(6, 2, rng=np.random.default_rng(42))
+        b = mlp(6, 2, rng=np.random.default_rng(42))
+        x = np.random.default_rng(0).standard_normal((3, 6))
+        np.testing.assert_array_equal(a(x), b(x))
+
+
+class TestActorCriticFactories:
+    def test_actor_discrete_emits_logits(self, rng):
+        net = actor_mlp(16, 5, rng=rng)
+        # no softmax/tanh head: raw logits for Gumbel-Softmax downstream
+        assert isinstance(net.layers[-1], Linear)
+        assert net(rng.standard_normal((2, 16))).shape == (2, 5)
+
+    def test_actor_continuous_tanh_bounded(self, rng):
+        net = actor_mlp(16, 2, discrete=False, rng=rng)
+        assert isinstance(net.layers[-1], Tanh)
+        out = net(rng.standard_normal((100, 16)) * 50)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_critic_scalar_output(self, rng):
+        net = critic_mlp(63, rng=rng)
+        assert net(rng.standard_normal((9, 63))).shape == (9, 1)
+
+    def test_critic_input_grows_with_agents(self, rng):
+        # joint dim for 3 PP agents: 3*(16+5) = 63; for 6: 6*(obs+5)
+        small = critic_mlp(63, rng=rng)
+        large = critic_mlp(2 * 63, rng=rng)
+        assert large.num_parameters() > small.num_parameters()

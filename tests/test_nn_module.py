@@ -1,0 +1,146 @@
+"""Tests for repro.nn.module: Parameter and Module plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+class TestParameter:
+    def test_value_is_float64(self):
+        p = Parameter(np.ones((2, 3), dtype=np.float32))
+        assert p.value.dtype == np.float64
+
+    def test_grad_starts_zero_and_matches_shape(self):
+        p = Parameter(np.ones((4, 5)))
+        assert p.grad.shape == (4, 5)
+        assert np.all(p.grad == 0)
+
+    def test_zero_grad_resets_in_place(self):
+        p = Parameter(np.ones(3))
+        grad_ref = p.grad
+        p.grad += 2.0
+        p.zero_grad()
+        assert p.grad is grad_ref
+        assert np.all(p.grad == 0)
+
+    def test_copy_preserves_identity(self):
+        a = Parameter(np.zeros(3))
+        b = Parameter(np.arange(3.0))
+        value_ref = a.value
+        a.copy_(b)
+        assert a.value is value_ref
+        np.testing.assert_array_equal(a.value, [0, 1, 2])
+
+    def test_lerp_soft_update(self):
+        a = Parameter(np.zeros(2))
+        b = Parameter(np.ones(2) * 10)
+        a.lerp_(b, 0.1)
+        np.testing.assert_allclose(a.value, [1.0, 1.0])
+
+    def test_size_and_shape(self):
+        p = Parameter(np.zeros((3, 7)))
+        assert p.size == 21
+        assert p.shape == (3, 7)
+
+
+class TestModuleRegistration:
+    def test_parameters_collected_from_submodules(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        params = net.parameters()
+        assert len(params) == 4  # two weights, two biases
+
+    def test_named_parameters_have_dotted_names(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        names = {name for name, _ in net.named_parameters()}
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+
+    def test_num_parameters(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_zero_grad_recurses(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        for p in net.parameters():
+            p.grad += 1.0
+        net.zero_grad()
+        assert all(np.all(p.grad == 0) for p in net.parameters())
+
+    def test_train_eval_mode_propagates(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), ReLU())
+        net.eval()
+        assert not net.training
+        assert not net.layers[0].training
+        net.train()
+        assert net.layers[1].training
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        a = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        b = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        b.load_state_dict(a.state_dict())
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(a(x), b(x))
+
+    def test_state_dict_values_are_copies(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng))
+        state = net.state_dict()
+        state["layer0.weight"][:] = 99.0
+        assert not np.any(net.layers[0].weight.value == 99.0)
+
+    def test_missing_key_raises(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng))
+        state = net.state_dict()
+        del state["layer0.bias"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng))
+        state = net.state_dict()
+        state["bogus"] = np.zeros(2)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng))
+        state = net.state_dict()
+        state["layer0.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+
+class TestTargetUpdates:
+    def test_copy_from_makes_outputs_equal(self, rng):
+        a = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 1, rng=rng))
+        b = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 1, rng=rng))
+        b.copy_from(a)
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(a(x), b(x))
+
+    def test_soft_update_converges_to_source(self, rng):
+        a = Sequential(Linear(3, 3, rng=rng))
+        b = Sequential(Linear(3, 3, rng=rng))
+        for _ in range(2000):
+            b.soft_update_from(a, tau=0.05)
+        np.testing.assert_allclose(
+            b.layers[0].weight.value, a.layers[0].weight.value, atol=1e-8
+        )
+
+    def test_soft_update_tau_validation(self, rng):
+        a = Sequential(Linear(3, 3, rng=rng))
+        b = Sequential(Linear(3, 3, rng=rng))
+        with pytest.raises(ValueError):
+            b.soft_update_from(a, tau=1.5)
+
+    def test_soft_update_exact_interpolation(self, rng):
+        a = Sequential(Linear(2, 2, rng=rng))
+        b = Sequential(Linear(2, 2, rng=rng))
+        wa = a.layers[0].weight.value.copy()
+        wb = b.layers[0].weight.value.copy()
+        b.soft_update_from(a, tau=0.25)
+        np.testing.assert_allclose(
+            b.layers[0].weight.value, 0.75 * wb + 0.25 * wa
+        )

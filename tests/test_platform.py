@@ -1,0 +1,157 @@
+"""Tests for the cross-platform cost model (Figures 12-13 substrate)."""
+
+import pytest
+
+from repro.platform import (
+    GTX1070_I7,
+    I7_CPU_ONLY,
+    PRESETS,
+    PhaseWorkload,
+    PlatformModel,
+    RTX3090_RYZEN,
+    get_platform,
+    mlp_flops,
+    project,
+    update_round_workload,
+)
+
+
+class TestPlatformModel:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {
+            "rtx3090_ryzen3975wx",
+            "gtx1070_i7_9700k",
+            "i7_9700k_cpu_only",
+        }
+
+    def test_get_platform(self):
+        assert get_platform("i7_9700k_cpu_only") is I7_CPU_ONLY
+        with pytest.raises(KeyError):
+            get_platform("tpu_v5")
+
+    def test_cpu_only_has_no_gpu(self):
+        assert not I7_CPU_ONLY.has_gpu
+        assert RTX3090_RYZEN.has_gpu
+
+    def test_gpu_fields_must_pair(self):
+        with pytest.raises(ValueError):
+            PlatformModel(
+                "x", cpu_gflops=10, row_overhead_s=1e-6, stall_share=0.4, gpu_gflops=100
+            )
+
+    def test_invalid_throughput(self):
+        with pytest.raises(ValueError):
+            PlatformModel("x", cpu_gflops=0, row_overhead_s=1e-6, stall_share=0.4)
+        with pytest.raises(ValueError):
+            PlatformModel("x", cpu_gflops=10, row_overhead_s=1e-6, stall_share=1.0)
+
+
+class TestWorkloadEstimate:
+    def test_mlp_flops_positive_and_scales_with_batch(self):
+        small = mlp_flops(16, (64, 64), 5, batch=1)
+        big = mlp_flops(16, (64, 64), 5, batch=1024)
+        assert big == pytest.approx(1024 * small)
+
+    def test_sampling_rows_scale_quadratically_with_agents(self):
+        w3 = update_round_workload([16] * 3, [5] * 3, 1024)
+        w6 = update_round_workload([16] * 6, [5] * 6, 1024)
+        assert w6.sampling_rows == pytest.approx(4 * w3.sampling_rows)
+
+    def test_layout_reorganized_is_linear_in_agents(self):
+        base = update_round_workload([16] * 12, [5] * 12, 1024)
+        kv = update_round_workload([16] * 12, [5] * 12, 1024, layout_reorganized=True)
+        assert kv.sampling_rows == pytest.approx(base.sampling_rows / 12)
+
+    def test_locality_fraction_carried(self):
+        w = update_round_workload([16] * 3, [5] * 3, 1024, locality_fraction=1.0)
+        assert w.locality_fraction == 1.0
+
+    def test_twin_critics_add_flops(self):
+        single = update_round_workload([16] * 3, [5] * 3, 256)
+        twin = update_round_workload([16] * 3, [5] * 3, 256, twin_critics=True)
+        assert twin.network_flops > single.network_flops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            update_round_workload([16], [5], 0)
+        with pytest.raises(ValueError):
+            PhaseWorkload(-1, 0.0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            PhaseWorkload(1, 2.0, 0, 0, 0)
+
+
+class TestProjection:
+    def workload(self, locality=0.0, n=6):
+        return update_round_workload(
+            [16] * n, [5] * n, 1024, locality_fraction=locality
+        )
+
+    @staticmethod
+    def total_gain(platform, base, opt):
+        t_base = project(platform, base).total_s
+        t_opt = project(platform, opt).total_s
+        return (t_base - t_opt) / t_base
+
+    def test_gpu_host_computes_faster(self):
+        work = self.workload()
+        gpu = project(RTX3090_RYZEN, work)
+        cpu = project(I7_CPU_ONLY, work)
+        assert gpu.compute_s < cpu.compute_s
+        assert cpu.transfer_s == 0.0 and cpu.overhead_s == 0.0
+
+    def test_sampling_reduction_in_paper_band(self):
+        """Full locality removes ~25-40% of sampling time (paper Fig. 8)."""
+        base, opt = self.workload(0.0), self.workload(1.0)
+        for platform in PRESETS.values():
+            s_base = project(platform, base).sampling_s
+            s_opt = project(platform, opt).sampling_s
+            reduction = (s_base - s_opt) / s_base
+            assert 0.25 <= reduction <= 0.40
+
+    def test_cpu_only_benefits_more_than_weak_gpu(self):
+        """Paper §VI-B: CPU-only gains exceed the GTX 1070 host's."""
+        base, opt = self.workload(0.0), self.workload(1.0)
+        cpu_gain = self.total_gain(I7_CPU_ONLY, base, opt)
+        gpu_gain = self.total_gain(GTX1070_I7, base, opt)
+        assert cpu_gain > gpu_gain
+
+    def test_end_to_end_gain_grows_with_agents(self):
+        """Paper Figs. 12-13: TT savings grow from 3 to 12 agents."""
+        for platform in (I7_CPU_ONLY, GTX1070_I7):
+            gains = [
+                self.total_gain(
+                    platform, self.workload(0.0, n), self.workload(1.0, n)
+                )
+                for n in (3, 6, 12)
+            ]
+            assert gains[0] < gains[1] < gains[2]
+
+    def test_weak_gpu_pays_transfer_and_overhead(self):
+        weak = project(GTX1070_I7, self.workload())
+        assert weak.transfer_s > 0
+        assert weak.overhead_s > 0
+
+    def test_primary_host_fastest_sampling(self):
+        work = self.workload()
+        fast = project(RTX3090_RYZEN, work)
+        slow = project(GTX1070_I7, work)
+        assert fast.sampling_s < slow.sampling_s
+
+    def test_weak_gpu_loses_to_cpu_at_small_scale(self):
+        """§VI-B: at 3 agents the GTX 1070's overheads outweigh its compute."""
+        work = self.workload(n=3)
+        weak = project(GTX1070_I7, work)
+        cpu = project(I7_CPU_ONLY, work)
+        non_sampling_weak = weak.total_s - weak.sampling_s
+        non_sampling_cpu = cpu.total_s - cpu.sampling_s
+        assert non_sampling_weak > non_sampling_cpu * 0.5  # overheads comparable
+
+    def test_total_is_sum(self):
+        p = project(RTX3090_RYZEN, self.workload())
+        assert p.total_s == pytest.approx(
+            p.sampling_s + p.compute_s + p.transfer_s + p.overhead_s
+        )
+
+    def test_as_dict(self):
+        d = project(I7_CPU_ONLY, self.workload()).as_dict()
+        assert set(d) == {"sampling_s", "compute_s", "transfer_s", "overhead_s", "total_s"}

@@ -1,0 +1,170 @@
+"""Tests for phase timers and paper-style breakdowns."""
+
+import time
+
+import pytest
+
+from repro.profiling import (
+    ACTION_SELECTION,
+    PhaseTimer,
+    SAMPLING,
+    TARGET_Q,
+    LOSS_UPDATE,
+    UPDATE_ALL_TRAINERS,
+    UPDATE_SUBPHASES,
+    end_to_end_breakdown,
+    qualified,
+    update_breakdown,
+)
+from repro.profiling.phases import percentages
+
+
+class TestPhaseTimer:
+    def test_accumulates_time(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            time.sleep(0.01)
+        assert timer.total("work") >= 0.01
+        assert timer.count("work") == 1
+
+    def test_repeat_phases_accumulate(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("w"):
+                pass
+        assert timer.count("w") == 3
+
+    def test_nesting_produces_dotted_keys(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            with timer.phase("inner"):
+                pass
+        assert "outer" in timer.phases()
+        assert "outer.inner" in timer.phases()
+
+    def test_children(self):
+        timer = PhaseTimer()
+        with timer.phase("u"):
+            with timer.phase("a"):
+                pass
+            with timer.phase("b"):
+                with timer.phase("deep"):
+                    pass
+        assert timer.children("u") == ["u.a", "u.b"]
+
+    def test_nested_time_within_parent(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            with timer.phase("inner"):
+                time.sleep(0.005)
+        assert timer.total("outer") >= timer.total("outer.inner")
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("x"):
+                raise RuntimeError("boom")
+        assert timer.count("x") == 1
+
+    def test_add_external_time(self):
+        timer = PhaseTimer()
+        timer.add("ext", 1.5, count=3)
+        assert timer.total("ext") == 1.5
+        assert timer.count("ext") == 3
+        with pytest.raises(ValueError):
+            timer.add("ext", -1.0)
+
+    def test_mean(self):
+        timer = PhaseTimer()
+        timer.add("x", 2.0, count=4)
+        assert timer.mean("x") == pytest.approx(0.5)
+        assert timer.mean("missing") == 0.0
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == 3.0
+        assert a.total("y") == 3.0
+
+    def test_invalid_phase_name(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("dotted.name"):
+                pass
+        with pytest.raises(ValueError):
+            with timer.phase(""):
+                pass
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.reset()
+        assert timer.phases() == []
+
+
+class TestPhaseNames:
+    def test_qualified(self):
+        assert qualified(SAMPLING) == "update_all_trainers.sampling"
+        with pytest.raises(ValueError):
+            qualified("bogus")
+
+    def test_update_subphases_match_paper(self):
+        assert UPDATE_SUBPHASES == ("sampling", "target_q", "loss_update")
+
+    def test_percentages(self):
+        out = percentages({"a": 3.0, "b": 1.0}, ["a", "b"])
+        assert out["a"] == pytest.approx(75.0)
+        with pytest.raises(ValueError):
+            percentages({}, ["a"])
+
+
+class TestBreakdowns:
+    def make_timer(self):
+        timer = PhaseTimer()
+        timer.add(ACTION_SELECTION, 2.0)
+        timer.add(UPDATE_ALL_TRAINERS, 6.0)
+        timer.add(qualified(SAMPLING), 3.6)
+        timer.add(qualified(TARGET_Q), 1.5)
+        timer.add(qualified(LOSS_UPDATE), 0.9)
+        return timer
+
+    def test_end_to_end_breakdown(self):
+        b = end_to_end_breakdown(self.make_timer(), total_seconds=10.0)
+        assert b.action_selection_pct == pytest.approx(20.0)
+        assert b.update_all_trainers_pct == pytest.approx(60.0)
+        assert b.other_pct == pytest.approx(20.0)
+
+    def test_update_breakdown_uses_subphase_shares(self):
+        b = update_breakdown(self.make_timer())
+        assert b.sampling_pct == pytest.approx(60.0)
+        assert b.target_q_pct == pytest.approx(25.0)
+        assert b.loss_pct == pytest.approx(15.0)
+        assert b.update_seconds == pytest.approx(6.0)
+
+    def test_update_total_falls_back_to_subphase_sum(self):
+        timer = PhaseTimer()
+        timer.add(qualified(SAMPLING), 2.0)
+        timer.add(qualified(TARGET_Q), 1.0)
+        timer.add(qualified(LOSS_UPDATE), 1.0)
+        b = update_breakdown(timer)
+        assert b.update_seconds == pytest.approx(4.0)
+
+    def test_attribution_exceeding_total_raises(self):
+        with pytest.raises(ValueError, match="exceeds total"):
+            end_to_end_breakdown(self.make_timer(), total_seconds=5.0)
+
+    def test_empty_update_raises(self):
+        with pytest.raises(ValueError, match="no update"):
+            update_breakdown(PhaseTimer())
+
+    def test_render_strings(self):
+        timer = self.make_timer()
+        assert "%" in end_to_end_breakdown(timer, 10.0).render()
+        assert "sampling" in update_breakdown(timer).render()
+
+    def test_as_dict_keys(self):
+        d = end_to_end_breakdown(self.make_timer(), 10.0).as_dict()
+        assert set(d) == {"total_seconds", ACTION_SELECTION, UPDATE_ALL_TRAINERS, "other"}

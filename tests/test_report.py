@@ -1,0 +1,51 @@
+"""Tests for the markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import generate_report
+
+
+class TestGenerateReport:
+    def test_report_contains_all_sections(self):
+        text = generate_report(agent_counts=(2,), batch_size=128, rows=512)
+        assert "# MARL sampling-optimization report" in text
+        assert "## Sampling-phase time per update round" in text
+        assert "## Layout reorganization" in text
+        assert "## Simulated hardware counters" in text
+
+    def test_report_has_one_row_per_agent_count(self):
+        text = generate_report(agent_counts=(2, 3), batch_size=128, rows=512)
+        sampling_section = text.split("## Layout")[0]
+        assert "| 2 |" in sampling_section
+        assert "| 3 |" in sampling_section
+
+    def test_counter_rows_cover_both_patterns(self):
+        text = generate_report(agent_counts=(2,), batch_size=128, rows=512)
+        counters = text.split("## Simulated hardware counters")[1]
+        assert "random" in counters
+        assert "cache_aware" in counters
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 64"):
+            generate_report(batch_size=100)
+
+
+class TestReportCLI:
+    def test_report_to_stdout(self, capsys):
+        code = main([
+            "report", "--agents", "2", "--batch-size", "128", "--rows", "512",
+        ])
+        assert code == 0
+        assert "sampling-optimization report" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = str(tmp_path / "report.md")
+        code = main([
+            "report", "--agents", "2", "--batch-size", "128", "--rows", "512",
+            "--output", out,
+        ])
+        assert code == 0
+        text = open(out).read()
+        assert text.startswith("# MARL sampling-optimization report")
+        assert "written to" in capsys.readouterr().out

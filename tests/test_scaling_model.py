@@ -1,0 +1,88 @@
+"""Tests for the complexity-fitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ComplexityFit,
+    fit_complexity,
+    measure_sampling_scaling,
+)
+
+
+class TestFitComplexity:
+    def test_recovers_quadratic(self):
+        n = [2, 4, 8, 16, 32]
+        t = [0.001 + 0.0005 * x**2 for x in n]
+        fit = fit_complexity(n, t)
+        assert fit.best_model == "O(N^2)"
+        assert fit.r_squared["O(N^2)"] > 0.9999
+
+    def test_recovers_linear(self):
+        n = [2, 4, 8, 16, 32]
+        t = [0.001 + 0.002 * x for x in n]
+        fit = fit_complexity(n, t)
+        assert fit.best_model == "O(N)"
+
+    def test_recovers_cubic(self):
+        n = [2, 4, 8, 16]
+        t = [0.0001 * x**3 for x in n]
+        assert fit_complexity(n, t).best_model == "O(N^3)"
+
+    def test_recovers_nlogn_against_linear(self):
+        n = [2, 4, 8, 16, 32, 64]
+        t = [1e-4 * x * np.log2(x) for x in n]
+        fit = fit_complexity(n, t)
+        assert fit.r_squared["O(N log N)"] > fit.r_squared["O(N)"]
+
+    def test_coefficients_recovered(self):
+        n = [2, 4, 8, 16]
+        a_true, b_true = 0.003, 0.0007
+        t = [a_true + b_true * x**2 for x in n]
+        fit = fit_complexity(n, t)
+        a, b = fit.coefficients["O(N^2)"]
+        assert a == pytest.approx(a_true, rel=1e-6)
+        assert b == pytest.approx(b_true, rel=1e-6)
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        n = [2, 4, 8, 16, 32]
+        t = [0.0005 * x**2 * (1 + 0.05 * rng.standard_normal()) for x in n]
+        assert fit_complexity(n, t).best_model == "O(N^2)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            fit_complexity([1, 2], [1.0])
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_complexity([1, 2], [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            fit_complexity([1, 2, 3], [1.0, -1.0, 2.0])
+        with pytest.raises(ValueError, match="constant"):
+            fit_complexity([1, 2, 3], [1.0, 1.0, 1.0])
+
+    def test_render(self):
+        fit = fit_complexity([2, 4, 8], [4.0, 16.0, 64.0])
+        text = fit.render()
+        assert "best fit" in text and "R^2" in text
+
+
+class TestMeasureSamplingScaling:
+    def test_baseline_grows_superlinearly(self):
+        counts = (2, 4, 8)
+        seconds = measure_sampling_scaling(
+            counts, batch_size=64, rows=256, fixed_obs_dim=8
+        )
+        assert len(seconds) == 3
+        assert seconds[2] > 3 * seconds[0]
+
+    def test_layout_cheaper_than_baseline(self):
+        counts = (4, 8)
+        base = measure_sampling_scaling(counts, batch_size=64, rows=256, fixed_obs_dim=8)
+        kv = measure_sampling_scaling(
+            counts, batch_size=64, rows=256, layout=True, fixed_obs_dim=8
+        )
+        assert all(k < b for k, b in zip(kv, base))
+
+    def test_env_faithful_dims_default(self):
+        seconds = measure_sampling_scaling((2, 3, 4), batch_size=64, rows=256)
+        assert all(s > 0 for s in seconds)

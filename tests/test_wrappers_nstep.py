@@ -1,0 +1,237 @@
+"""Tests for environment wrappers and the n-step accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import NStepAccumulator
+from repro.envs import (
+    EnvWrapper,
+    EpisodeStatistics,
+    NormalizeObservations,
+    ScaleRewards,
+    make,
+)
+
+
+def base_env(max_len=5):
+    return make("cooperative_navigation", num_agents=2, seed=0, max_episode_len=max_len)
+
+
+class TestEnvWrapperDelegation:
+    def test_attributes_delegate(self):
+        env = EnvWrapper(base_env())
+        assert env.num_agents == 2
+        assert env.obs_dims == [12, 12]
+
+    def test_unwrapped_pierces_stack(self):
+        inner = base_env()
+        stacked = EpisodeStatistics(ScaleRewards(NormalizeObservations(inner)))
+        assert stacked.unwrapped is inner
+
+    def test_reset_step_pass_through(self):
+        env = EnvWrapper(base_env())
+        obs = env.reset()
+        assert len(obs) == 2
+        out = env.step([0, 0])
+        assert len(out) == 4
+
+
+class TestNormalizeObservations:
+    def test_observations_become_standardized(self):
+        env = NormalizeObservations(base_env(max_len=25))
+        env.reset()
+        collected = []
+        for _ in range(3):
+            env.reset()
+            for _ in range(25):
+                obs, _, dones, _ = env.step([np.random.randint(5) for _ in range(2)])
+                collected.append(obs[0])
+        arr = np.array(collected[-30:])
+        # after warm-up, normalized features have modest scale
+        assert np.abs(arr.mean()) < 1.5
+        assert arr.std() < 3.0
+
+    def test_freeze_stops_statistics(self):
+        env = NormalizeObservations(base_env())
+        env.reset()
+        env.freeze()
+        count_before = env.normalizers[0].count
+        env.step([0, 0])
+        assert env.normalizers[0].count == count_before
+        env.unfreeze()
+        env.step([0, 0])
+        assert env.normalizers[0].count == count_before + 1
+
+    def test_per_agent_normalizers(self):
+        env = NormalizeObservations(base_env())
+        assert len(env.normalizers) == 2
+        assert env.normalizers[0].dim == 12
+
+
+class TestScaleRewards:
+    def test_scaling_applied(self):
+        env = ScaleRewards(base_env(), scale=0.1)
+        env.reset()
+        raw_env = base_env()
+        raw_env.reset()
+        # same seed, same actions -> scaled rewards are 0.1x
+        _, scaled, _, _ = env.step([1, 2])
+        _, raw, _, _ = raw_env.step([1, 2])
+        np.testing.assert_allclose(scaled, [0.1 * r for r in raw])
+
+    def test_clipping(self):
+        env = ScaleRewards(base_env(), scale=1e6, clip=1.0)
+        env.reset()
+        _, rewards, _, _ = env.step([0, 0])
+        assert all(abs(r) <= 1.0 for r in rewards)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleRewards(base_env(), scale=0.0)
+        with pytest.raises(ValueError):
+            ScaleRewards(base_env(), clip=-1.0)
+
+
+class TestEpisodeStatistics:
+    def test_episode_info_on_termination(self):
+        env = EpisodeStatistics(base_env(max_len=3))
+        env.reset()
+        info = {}
+        for _ in range(3):
+            _, _, dones, info = env.step([0, 0])
+        assert all(dones)
+        assert info["episode"]["length"] == 3
+        assert np.isfinite(info["episode"]["return"])
+
+    def test_rolling_means(self):
+        env = EpisodeStatistics(base_env(max_len=2), window=10)
+        for _ in range(4):
+            env.reset()
+            env.step([0, 0])
+            env.step([0, 0])
+        assert len(env.returns) == 4
+        assert env.mean_length == 2.0
+        assert np.isfinite(env.mean_return)
+
+    def test_no_episodes_raises(self):
+        env = EpisodeStatistics(base_env())
+        with pytest.raises(ValueError):
+            _ = env.mean_return
+
+    def test_window_bounds_history(self):
+        env = EpisodeStatistics(base_env(max_len=1), window=2)
+        for _ in range(5):
+            env.reset()
+            env.step([0, 0])
+        assert len(env.returns) == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            EpisodeStatistics(base_env(), window=0)
+
+
+def joint(r, done=False, num_agents=2):
+    obs = [np.array([float(r), 0.0])] * num_agents
+    act = [np.array([1.0, 0.0])] * num_agents
+    return (
+        obs,
+        act,
+        [float(r)] * num_agents,
+        [np.array([float(r) + 1, 0.0])] * num_agents,
+        [done] * num_agents,
+    )
+
+
+class TestNStepAccumulator:
+    def test_n1_is_identity(self):
+        acc = NStepAccumulator(2, n=1, gamma=0.9)
+        out = acc.push(*joint(5.0))
+        assert len(out) == 1
+        _, _, rew, _, _ = out[0]
+        assert rew == [5.0, 5.0]
+
+    def test_steady_state_one_out_per_push(self):
+        acc = NStepAccumulator(2, n=3, gamma=0.9)
+        outs = [acc.push(*joint(float(i))) for i in range(6)]
+        # first n-1 pushes emit nothing, then one per push
+        assert [len(o) for o in outs] == [0, 0, 1, 1, 1, 1]
+
+    def test_nstep_return_value(self):
+        acc = NStepAccumulator(1, n=3, gamma=0.5)
+        acc.push(*joint(1.0, num_agents=1))
+        acc.push(*joint(2.0, num_agents=1))
+        out = acc.push(*joint(4.0, num_agents=1))
+        _, _, rew, next_obs, _ = out[0]
+        # R = 1 + 0.5*2 + 0.25*4 = 3.0; next_obs from the last transition
+        assert rew[0] == pytest.approx(3.0)
+        assert next_obs[0][0] == pytest.approx(5.0)
+
+    def test_episode_end_flushes_with_truncated_returns(self):
+        acc = NStepAccumulator(1, n=3, gamma=0.5)
+        acc.push(*joint(1.0, num_agents=1))
+        out = acc.push(*joint(2.0, done=True, num_agents=1))
+        assert len(out) == 2
+        assert out[0][2][0] == pytest.approx(1.0 + 0.5 * 2.0)
+        assert out[1][2][0] == pytest.approx(2.0)
+        assert acc.pending == 0
+        # terminal flag propagates to both matured transitions
+        assert out[0][4] == [True] and out[1][4] == [True]
+
+    def test_bootstrap_gamma(self):
+        acc = NStepAccumulator(2, n=3, gamma=0.9)
+        assert acc.bootstrap_gamma == pytest.approx(0.9**3)
+
+    def test_reset_drops_pending(self):
+        acc = NStepAccumulator(1, n=4, gamma=0.9)
+        acc.push(*joint(1.0, num_agents=1))
+        acc.reset()
+        assert acc.pending == 0
+        assert acc.flush() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NStepAccumulator(0, 2, 0.9)
+        with pytest.raises(ValueError):
+            NStepAccumulator(2, 0, 0.9)
+        with pytest.raises(ValueError):
+            NStepAccumulator(2, 2, 1.5)
+        acc = NStepAccumulator(2, 2, 0.9)
+        with pytest.raises(ValueError):
+            acc.push(*joint(1.0, num_agents=1))
+
+    @given(
+        rewards=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=1, max_size=20
+        ),
+        n=st.integers(min_value=1, max_value=5),
+        gamma=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_no_experience_lost(self, rewards, n, gamma):
+        """Total matured transitions equals total pushed (after flush)."""
+        acc = NStepAccumulator(1, n=n, gamma=gamma)
+        matured = 0
+        for r in rewards:
+            matured += len(acc.push(*joint(r, num_agents=1)))
+        matured += len(acc.flush())
+        assert matured == len(rewards)
+
+    @given(
+        rewards=st.lists(
+            st.floats(min_value=-5, max_value=5), min_size=3, max_size=10
+        ),
+        gamma=st.floats(min_value=0.1, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_first_return_matches_manual_sum(self, rewards, gamma):
+        """The first matured n-step return equals the direct discounted sum."""
+        n = 3
+        acc = NStepAccumulator(1, n=n, gamma=gamma)
+        outs = []
+        for r in rewards:
+            outs.extend(acc.push(*joint(r, num_agents=1)))
+        outs.extend(acc.flush())
+        expected = sum(gamma**k * rewards[k] for k in range(min(n, len(rewards))))
+        assert outs[0][2][0] == pytest.approx(expected, rel=1e-9, abs=1e-9)
