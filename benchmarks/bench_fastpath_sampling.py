@@ -1,0 +1,188 @@
+"""Fast-path sampling engine — scalar loops vs vectorized equivalents.
+
+The vectorized engine (``fast_path=True``) replaces the characterized
+per-index Python loops with batched numpy operations that consume the
+identical RNG stream and return bit-identical batches (property-tested
+in ``tests/test_fastpath_sampling.py``).  This bench quantifies the
+speedup per strategy at the paper's batch size (B=1024) across agent
+counts, and asserts the headline claim: the information-prioritized
+sampler — the paper's §IV-B1 optimization and the heaviest scalar
+loop — gains at least 3x from vectorization.
+
+``python benchmarks/bench_fastpath_sampling.py --smoke`` runs a tiny
+geometry for CI: one timing round per strategy plus an equivalence
+check, completing in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import (
+    CacheAwareSampler,
+    InformationPrioritizedSampler,
+    PrioritizedSampler,
+    UniformSampler,
+)
+from repro.experiments import time_sampler_round
+
+try:  # pytest runs from benchmarks/, __main__ from anywhere
+    from conftest import make_filled_replay, print_exhibit
+except ImportError:  # pragma: no cover - __main__ --smoke path
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    from conftest import make_filled_replay, print_exhibit
+
+FAST_BATCH = 1024
+FAST_ROWS = 4_096
+AGENT_COUNTS = (3, 6, 12, 24)
+
+#: (display name, needs prioritized replay, factory taking (batch, fast)).
+STRATEGIES = (
+    ("uniform", False, lambda b, f: UniformSampler(fast_path=f)),
+    ("cache_aware_n64", False, lambda b, f: CacheAwareSampler(64, b // 64, fast_path=f)),
+    ("prioritized", True, lambda b, f: PrioritizedSampler(fast_path=f)),
+    ("info_prioritized", True, lambda b, f: InformationPrioritizedSampler(fast_path=f)),
+)
+
+
+def _spread_priorities(replay, rows: int, seed: int) -> None:
+    """Non-uniform priorities so tree descent and IS weights do real work."""
+    rng = np.random.default_rng(seed)
+    for i in range(replay.num_agents):
+        replay.priority_buffer(i).update_priorities(
+            range(rows), rng.uniform(0.01, 5.0, rows), fast_path=True
+        )
+
+
+def _measure(
+    num_agents: int,
+    batch_size: int,
+    rows: int,
+    capacity: int,
+    rounds: int,
+    seed: int = 0,
+):
+    """Scalar and fast seconds per strategy at one agent count."""
+    replay = make_filled_replay(
+        "predator_prey", num_agents, seed=seed, rows=rows, capacity=capacity
+    )
+    preplay = make_filled_replay(
+        "predator_prey",
+        num_agents,
+        seed=seed,
+        rows=rows,
+        capacity=capacity,
+        prioritized=True,
+    )
+    _spread_priorities(preplay, rows, seed=seed + 1)
+
+    results = {}
+    for name, needs_prio, factory in STRATEGIES:
+        target = preplay if needs_prio else replay
+        scalar = time_sampler_round(
+            factory(batch_size, False), target, np.random.default_rng(seed),
+            batch_size, rounds=rounds, num_trainers=1,
+        )
+        fast = time_sampler_round(
+            factory(batch_size, True), target, np.random.default_rng(seed),
+            batch_size, rounds=rounds, num_trainers=1,
+        )
+        results[name] = (scalar.seconds, fast.seconds)
+    return results
+
+
+def bench_fastpath_vs_scalar(benchmark):
+    """Paper-batch (B=1024) scalar vs vectorized, N in {3, 6, 12, 24}."""
+    all_results = {}
+
+    def run_all():
+        for n in AGENT_COUNTS:
+            all_results[n] = _measure(
+                n, FAST_BATCH, FAST_ROWS, capacity=2 * FAST_ROWS, rounds=2
+            )
+        return all_results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    for n, per_strategy in all_results.items():
+        for name, (scalar_s, fast_s) in per_strategy.items():
+            lines.append(
+                f"N={n:<3} {name:<18} scalar {scalar_s * 1e3:9.2f}ms  "
+                f"fast {fast_s * 1e3:9.2f}ms  ({scalar_s / fast_s:5.2f}x)"
+            )
+    print_exhibit(
+        "Fast-path sampling engine — batched draws/gathers vs faithful loops",
+        lines,
+        paper_note="same RNG stream, bit-identical batches; the scalar loops "
+        "remain the characterized baseline",
+    )
+
+    # Headline acceptance: the info-prioritized sampler (the heaviest
+    # scalar loop: per-reference tree descent + tiny-run gathers) must
+    # gain >= 3x from the chunked vectorized engine at B=1024 for the
+    # paper's main characterization sizes.  Beyond N=12 the batch
+    # materialization itself (a ~40MB memcpy per draw, paid identically
+    # by both engines) dominates and the ratio converges on the
+    # copy-bound limit, so there we only require a strict win.
+    for n, per_strategy in all_results.items():
+        scalar_s, fast_s = per_strategy["info_prioritized"]
+        if n <= 6:
+            assert scalar_s / fast_s >= 3.0, (
+                f"N={n}: info_prioritized fast path only "
+                f"{scalar_s / fast_s:.2f}x over scalar (need >= 3x)"
+            )
+        assert fast_s < scalar_s, f"N={n}: info_prioritized fast path should win"
+        p_scalar, p_fast = per_strategy["prioritized"]
+        assert p_fast < p_scalar, f"N={n}: prioritized fast path should win"
+        u_scalar, u_fast = per_strategy["uniform"]
+        assert u_fast < u_scalar, f"N={n}: uniform fast path should win"
+
+
+def _smoke() -> int:
+    """Tiny-geometry CI check: both engines run and agree."""
+    batch, rows, n = 64, 512, 3
+    results = _measure(n, batch, rows, capacity=rows, rounds=1)
+    for name, (scalar_s, fast_s) in results.items():
+        print(
+            f"{name:<18} scalar {scalar_s * 1e3:8.2f}ms  "
+            f"fast {fast_s * 1e3:8.2f}ms  ({scalar_s / fast_s:5.2f}x)"
+        )
+
+    # Equivalence spot-check at smoke scale: identical indices/weights.
+    preplay = make_filled_replay(
+        "predator_prey", n, seed=0, rows=rows, capacity=rows, prioritized=True
+    )
+    _spread_priorities(preplay, rows, seed=1)
+    for _, needs_prio, factory in STRATEGIES:
+        replay = preplay if needs_prio else make_filled_replay(
+            "predator_prey", n, seed=0, rows=rows, capacity=rows
+        )
+        a = factory(batch, False).sample(replay, np.random.default_rng(3), batch)
+        b = factory(batch, True).sample(replay, np.random.default_rng(3), batch)
+        if not np.array_equal(a.indices, b.indices):
+            print("FAIL: fast path drew different indices", file=sys.stderr)
+            return 1
+        if (a.weights is None) != (b.weights is None) or (
+            a.weights is not None and not np.array_equal(a.weights, b.weights)
+        ):
+            print("FAIL: fast path produced different weights", file=sys.stderr)
+            return 1
+    print("smoke OK: fast path matches scalar on all strategies")
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI geometry + equivalence check"
+    )
+    cli = parser.parse_args()
+    if cli.smoke:
+        sys.exit(_smoke())
+    print("run the full exhibit via: pytest benchmarks/bench_fastpath_sampling.py "
+          "--benchmark-only -s")
+    sys.exit(0)

@@ -39,6 +39,9 @@ class MARLConfig:
     per_beta_steps: int = 100_000
     # warm-up: do not update until the buffer holds at least this many rows
     min_buffer_fill: Optional[int] = None
+    # vectorized sampling engine: batched tree descents + fancy-index
+    # gathers; False preserves the paper's characterized scalar loops
+    fast_path: bool = False
 
     def __post_init__(self) -> None:
         if self.lr <= 0:

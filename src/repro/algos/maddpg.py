@@ -58,6 +58,12 @@ class MADDPGTrainer:
         Attach a :class:`LayoutReorganizer` and sample through the
         timestep-major store (the §IV-B2 optimization).  Mutually
         exclusive with prioritized samplers.
+    fast_path:
+        Enable the vectorized sampling engine on the attached sampler
+        (batched sum-tree descents, fancy-index gathers, run-slice batch
+        assembly).  ``None`` (default) defers to ``config.fast_path``;
+        the scalar loops stay selected unless one of the two asks for
+        the fast path, keeping characterization runs faithful.
     seed:
         Seeds network init, exploration, and sampling.
     """
@@ -73,12 +79,18 @@ class MADDPGTrainer:
         sampler: Optional[Sampler] = None,
         use_layout: bool = False,
         layout_mode: str = "eager",
+        fast_path: Optional[bool] = None,
         seed: Optional[int] = None,
     ) -> None:
         if len(obs_dims) != len(act_dims) or not obs_dims:
             raise ValueError("obs_dims and act_dims must be equal-length and non-empty")
         self.config = config if config is not None else MARLConfig()
         self.sampler = sampler if sampler is not None else UniformSampler()
+        if fast_path is not None:
+            self.sampler.set_fast_path(fast_path)
+        elif self.config.fast_path:
+            self.sampler.set_fast_path(True)
+        self.fast_path = bool(getattr(self.sampler, "fast_path", False))
         self.rng = np.random.default_rng(seed)
         self.obs_dims = list(obs_dims)
         self.act_dims = list(act_dims)

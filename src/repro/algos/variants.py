@@ -54,10 +54,17 @@ VARIANTS = (
 )
 
 
-def make_sampler(variant: str, batch_size: int, beta: float = 0.4) -> Optional[Sampler]:
-    """Sampler for a variant name; None for layout variants (store-served)."""
+def make_sampler(
+    variant: str, batch_size: int, beta: float = 0.4, fast_path: bool = False
+) -> Optional[Sampler]:
+    """Sampler for a variant name; None for layout variants (store-served).
+
+    ``fast_path=True`` builds the variant's sampler on the vectorized
+    sampling engine (observably equivalent draws, batched execution);
+    the default keeps the paper's characterized scalar loops.
+    """
     if variant == "baseline":
-        return UniformSampler(vectorized=False)
+        return UniformSampler(vectorized=False, fast_path=fast_path)
     if variant == "baseline_vectorized":
         return UniformSampler(vectorized=True)
     if variant.startswith("cache_aware_n"):
@@ -74,20 +81,20 @@ def make_sampler(variant: str, batch_size: int, beta: float = 0.4) -> Optional[S
             raise ValueError(
                 f"variant {variant!r}: {neighbors} * {refs} != batch size {batch_size}"
             )
-        return CacheAwareSampler(neighbors=neighbors, refs=refs)
+        return CacheAwareSampler(neighbors=neighbors, refs=refs, fast_path=fast_path)
     if variant == "per":
-        return PrioritizedSampler(beta=beta)
+        return PrioritizedSampler(beta=beta, fast_path=fast_path)
     if variant == "info_prioritized":
-        return InformationPrioritizedSampler(beta=beta)
+        return InformationPrioritizedSampler(beta=beta, fast_path=fast_path)
     if variant.startswith("reuse_w") or variant.startswith("accmer_w"):
         # AccMER-style transition reuse (related work [43]): reuse_w<k>
         # wraps the uniform baseline, accmer_w<k> wraps PER
         from ..core.reuse import ReuseWindowSampler
 
         prefix, base_factory = (
-            ("reuse_w", lambda: UniformSampler())
+            ("reuse_w", lambda: UniformSampler(fast_path=fast_path))
             if variant.startswith("reuse_w")
-            else ("accmer_w", lambda: PrioritizedSampler(beta=beta))
+            else ("accmer_w", lambda: PrioritizedSampler(beta=beta, fast_path=fast_path))
         )
         try:
             window = int(variant[len(prefix):])
@@ -117,7 +124,9 @@ def build_trainer(
             f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
         ) from None
     config = config if config is not None else MARLConfig()
-    sampler = make_sampler(variant, config.batch_size, beta=config.per_beta0)
+    sampler = make_sampler(
+        variant, config.batch_size, beta=config.per_beta0, fast_path=config.fast_path
+    )
     use_layout = variant in ("layout", "layout_lazy")
     return trainer_cls(
         obs_dims,

@@ -171,7 +171,32 @@ class KVTransitionStore:
     # -- reads ------------------------------------------------------------------
 
     def gather_rows(self, indices: Sequence[int]) -> np.ndarray:
-        """The O(m) sampling loop: one packed-row read per index."""
+        """The O(m) row gather as a single fancy-index read.
+
+        One numpy take over the packed value block replaces the
+        per-index append loop; the copy volume (m packed rows) is
+        unchanged — only the Python-level overhead goes away.  The
+        faithful per-row loop survives as :meth:`gather_rows_loop` for
+        the characterization ablations.
+        """
+        if len(indices) == 0:
+            raise ValueError("gather_rows on empty index list")
+        if self._size == 0:
+            raise ValueError("gather_rows on empty store")
+        idx = np.asarray(indices, dtype=np.int64)
+        bad = (idx < 0) | (idx >= self._size)
+        if bad.any():
+            i = int(idx[np.argmax(bad)])
+            raise IndexError(f"index {i} out of range for store of size {self._size}")
+        return self._values[idx]
+
+    def gather_rows_loop(self, indices: Sequence[int]) -> np.ndarray:
+        """Reference per-row gather loop (the pre-vectorization path).
+
+        Kept selectable so ablation benches can charge the interpreter
+        overhead of row-at-a-time assembly separately from the layout's
+        O(m)-vs-O(N*m) copy-volume win.
+        """
         if len(indices) == 0:
             raise ValueError("gather_rows on empty index list")
         if self._size == 0:

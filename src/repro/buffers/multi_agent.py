@@ -111,15 +111,22 @@ class MultiAgentReplay:
         return len(self) >= max(batch_size, 1)
 
     def gather_all(
-        self, indices: Sequence[int], vectorized: bool = False
+        self,
+        indices: Sequence[int],
+        vectorized: bool = False,
+        fast_path: Optional[bool] = None,
     ) -> List[tuple]:
         """Baseline O(N*m) gather: loop every agent's buffer over ``indices``.
 
         This is exactly the paper's characterized bottleneck — each agent
         trainer iterates over all agents' replay buffers with the common
-        indices array.
+        indices array.  ``fast_path`` (when given) overrides
+        ``vectorized`` and selects the fancy-index gather; both spellings
+        are kept so the sampling-engine flag and the older ablation knob
+        stay in sync.
         """
-        if vectorized:
+        fast = vectorized if fast_path is None else fast_path
+        if fast:
             return [buf.gather_vectorized(indices) for buf in self.buffers]
         return [buf.gather(indices) for buf in self.buffers]
 

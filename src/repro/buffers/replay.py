@@ -197,6 +197,55 @@ class ReplayBuffer:
         idx = (start + np.arange(length)) % self._size
         return self.gather_vectorized(idx)
 
+    def gather_runs(self, runs: Sequence) -> BatchFields:
+        """Fast-path batch assembly for a list of contiguous runs.
+
+        Instead of gathering each run separately and paying one
+        ``np.concatenate`` per field per batch (N x ref temporary
+        arrays), the output arrays are preallocated once and each run is
+        copied in with a slice assignment — the same sequential access
+        pattern as :meth:`gather_run`, minus the Python-level stitching.
+        Runs are duck-typed ``(start, length)`` records
+        (:class:`~repro.core.indices.Run`); wraparound runs fall back to
+        a modular fancy-index read, exactly like :meth:`gather_run`.
+        """
+        if not runs:
+            raise ValueError("gather_runs requires at least one run")
+        if self._size == 0:
+            raise ValueError("gather_runs on empty buffer")
+        size = self._size
+        total = sum(run.length for run in runs)
+        obs = np.empty((total, self.obs_dim), dtype=np.float64)
+        act = np.empty((total, self.act_dim), dtype=np.float64)
+        rew = np.empty(total, dtype=np.float64)
+        next_obs = np.empty((total, self.obs_dim), dtype=np.float64)
+        done = np.empty(total, dtype=np.float64)
+        pos = 0
+        for run in runs:
+            start, length = run.start, run.length
+            if length <= 0:
+                raise ValueError(f"run length must be positive, got {length}")
+            if not 0 <= start < size:
+                raise IndexError(f"run start {start} out of range [0, {size})")
+            stop = pos + length
+            end = start + length
+            if end <= size:
+                sl = slice(start, end)
+                obs[pos:stop] = self._obs[sl]
+                act[pos:stop] = self._act[sl]
+                rew[pos:stop] = self._rew[sl]
+                next_obs[pos:stop] = self._next_obs[sl]
+                done[pos:stop] = self._done[sl]
+            else:  # wraparound: modular indices, as in gather_run
+                idx = (start + np.arange(length)) % size
+                obs[pos:stop] = self._obs[idx]
+                act[pos:stop] = self._act[idx]
+                rew[pos:stop] = self._rew[idx]
+                next_obs[pos:stop] = self._next_obs[idx]
+                done[pos:stop] = self._done[idx]
+            pos = stop
+        return (obs, act, rew, next_obs, done)
+
     def sample_indices(
         self, rng: np.random.Generator, batch_size: int
     ) -> np.ndarray:

@@ -4,12 +4,24 @@ Implements the classic PER data structures (Schaul et al., 2015, the
 paper's reference [27]): a sum tree for O(log n) proportional sampling
 and a min tree for importance-weight normalization.  Capacities are
 rounded up to a power of two internally.
+
+Two query paths are provided for the hot operations:
+
+* the scalar descent/update loops — faithful to the reference PER
+  implementation and deliberately preserved for the characterization
+  benches (the Python-loop overhead is part of what the paper measures);
+* batched variants (:meth:`SumTree.find_prefixsum_idx_batch`,
+  :meth:`SegmentTree.set_batch`, :meth:`SumTree.sample_proportional`
+  with ``fast_path=True``) that process a whole vector of queries
+  level-by-level with numpy indexing.  The batched paths perform the
+  same IEEE-754 operations per element in the same order, so results
+  are bit-identical to the scalar loops.
 """
 
 from __future__ import annotations
 
 import operator
-from typing import Callable
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +37,10 @@ def _next_pow2(n: int) -> int:
 
 class SegmentTree:
     """Array-backed segment tree with a configurable reduction operator."""
+
+    #: numpy ufunc equivalent of ``_operation`` (set by subclasses); when
+    #: present, :meth:`set_batch` rebuilds internal levels vectorized.
+    _vector_operation: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
 
     def __init__(self, capacity: int, operation: Callable[[float, float], float], neutral: float) -> None:
         if capacity <= 0:
@@ -51,7 +67,62 @@ class SegmentTree:
             raise IndexError(f"index {idx} out of range [0, {self.capacity})")
         return float(self._tree[idx + self.capacity])
 
-    def reduce(self, start: int = 0, end: int = None) -> float:
+    def leaf_values(self, indices: Sequence[int]) -> np.ndarray:
+        """Batched leaf read: one fancy-index gather instead of B lookups."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 1:
+            raise ValueError(f"leaf indices must be 1-D, got shape {idx.shape}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.capacity):
+            raise IndexError(
+                f"leaf indices out of range [0, {self.capacity}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        return self._tree[idx + self.capacity]
+
+    def set_batch(self, indices: Sequence[int], values: Sequence[float]) -> None:
+        """Batched ``self[i] = v``: set all leaves, rebuild levels bottom-up.
+
+        Duplicate indices follow scalar-loop semantics (the last
+        occurrence wins).  The final tree state is identical to applying
+        :meth:`__setitem__` sequentially — internal nodes are recomputed
+        from their children's final values with the same operator.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.float64)
+        if idx.shape != vals.shape or idx.ndim != 1:
+            raise ValueError(
+                f"indices/values must be equal-length 1-D arrays, "
+                f"got {idx.shape} vs {vals.shape}"
+            )
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.capacity:
+            raise IndexError(
+                f"leaf indices out of range [0, {self.capacity}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        # last occurrence wins, as in the sequential loop
+        uniq, first_in_rev = np.unique(idx[::-1], return_index=True)
+        vals = vals[::-1][first_in_rev]
+        pos = uniq + self.capacity
+        self._tree[pos] = vals
+        if self.capacity == 1:  # single leaf doubles as the root
+            return
+        parents = np.unique(pos >> 1)
+        op = self._vector_operation
+        while True:
+            left = self._tree[2 * parents]
+            right = self._tree[2 * parents + 1]
+            if op is not None:
+                self._tree[parents] = op(left, right)
+            else:  # generic operator: per-node scalar reduction
+                for k, p in enumerate(parents):
+                    self._tree[p] = self._operation(left[k], right[k])
+            if parents[0] == 1:  # all parents share a level; root reached
+                break
+            parents = np.unique(parents >> 1)
+
+    def reduce(self, start: int = 0, end: Optional[int] = None) -> float:
         """Reduce over leaves [start, end) with the tree's operator."""
         if end is None:
             end = self.capacity
@@ -74,6 +145,8 @@ class SegmentTree:
 
 class SumTree(SegmentTree):
     """Sum tree supporting prefix-sum descent for proportional sampling."""
+
+    _vector_operation = staticmethod(np.add)
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity, operator.add, 0.0)
@@ -103,14 +176,53 @@ class SumTree(SegmentTree):
                 pos = left + 1
         return pos - self.capacity
 
+    def find_prefixsum_idx_batch(self, prefixsums: Sequence[float]) -> np.ndarray:
+        """Batched :meth:`find_prefixsum_idx`: one level-wise array descent.
+
+        All queries walk the tree together, one level per iteration, so
+        the cost is O(log capacity) numpy operations for the whole batch
+        instead of B Python descents.  Per element the comparisons and
+        subtractions match the scalar descent exactly, so the returned
+        leaves are identical to ``[find_prefixsum_idx(m) for m in masses]``.
+        """
+        ps = np.asarray(prefixsums, dtype=np.float64)
+        if ps.ndim != 1:
+            raise ValueError(f"prefixsums must be 1-D, got shape {ps.shape}")
+        if ps.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if ps.min() < 0:
+            raise ValueError(f"prefixsum must be non-negative, got {ps.min()}")
+        total = self.total()
+        if ps.max() > total + 1e-7:
+            raise ValueError(f"prefixsum {ps.max()} exceeds tree total {total}")
+        pos = np.ones(ps.shape[0], dtype=np.int64)
+        remaining = ps.copy()
+        level = 1
+        while level < self.capacity:
+            left = pos << 1
+            left_vals = self._tree[left]
+            go_left = left_vals > remaining
+            remaining = np.where(go_left, remaining, remaining - left_vals)
+            pos = np.where(go_left, left, left + 1)
+            level <<= 1
+        return pos - self.capacity
+
     def sample_proportional(
-        self, rng: np.random.Generator, batch_size: int, valid_size: int
+        self,
+        rng: np.random.Generator,
+        batch_size: int,
+        valid_size: int,
+        fast_path: bool = False,
     ) -> np.ndarray:
         """Draw ``batch_size`` leaves proportionally to their priorities.
 
         Stratified as in the PER paper: the mass is split into equal
         segments and one draw is taken per segment, reducing variance.
         Only leaves < ``valid_size`` carry mass (unwritten leaves are 0).
+
+        ``fast_path=True`` draws all segment masses with one vectorized
+        ``rng.uniform`` call and descends them together; it consumes the
+        same RNG stream and returns the same indices as the scalar loop.
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -119,17 +231,48 @@ class SumTree(SegmentTree):
         total = self.total()
         if total <= 0:
             raise ValueError("sum tree has no mass; add priorities first")
-        out = np.empty(batch_size, dtype=np.int64)
         segment = total / batch_size
+        if fast_path:
+            ks = np.arange(batch_size, dtype=np.float64)
+            masses = rng.uniform(segment * ks, segment * (ks + 1.0))
+            masses = np.minimum(masses, total * (1 - 1e-12))
+            idx = self.find_prefixsum_idx_batch(masses)
+            return np.minimum(idx, valid_size - 1)
+        out = np.empty(batch_size, dtype=np.int64)
         for k in range(batch_size):
             mass = rng.uniform(segment * k, segment * (k + 1))
             idx = self.find_prefixsum_idx(min(mass, total * (1 - 1e-12)))
             out[k] = min(idx, valid_size - 1)
         return out
 
+    def sample_proportional_chunk(
+        self, rng: np.random.Generator, count: int, valid_size: int
+    ) -> np.ndarray:
+        """``count`` *independent* proportional draws in one vectorized call.
+
+        Stream-identical to ``count`` successive single-draw
+        ``sample_proportional(rng, 1, valid_size)`` calls (each of which
+        consumes exactly one ``uniform(0, total)`` variate) — the chunked
+        reference selection of the information-prioritized fast path
+        relies on this to keep RNG streams aligned with the scalar loop.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if valid_size <= 0:
+            raise ValueError("cannot sample from an empty priority tree")
+        total = self.total()
+        if total <= 0:
+            raise ValueError("sum tree has no mass; add priorities first")
+        masses = rng.uniform(0.0, total, size=count)
+        masses = np.minimum(masses, total * (1 - 1e-12))
+        idx = self.find_prefixsum_idx_batch(masses)
+        return np.minimum(idx, valid_size - 1)
+
 
 class MinTree(SegmentTree):
     """Min tree used to normalize importance weights by max weight."""
+
+    _vector_operation = staticmethod(np.minimum)
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity, min, float("inf"))

@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--buffer", type=int, default=8192)
     train.add_argument("--update-every", type=int, default=25)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--fast-path",
+        action="store_true",
+        help="use the vectorized sampling engine (equivalent draws, batched execution)",
+    )
     train.add_argument("--save-json", default=None, help="write RunResult JSON here")
     train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
 
@@ -61,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--batch-size", type=int, default=1024)
     profile.add_argument("--rounds", type=int, default=3)
     profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--fast-path",
+        action="store_true",
+        help="profile with the vectorized sampling engine instead of the faithful loops",
+    )
 
     sample = sub.add_parser("sample", help="sampling-strategy microbenchmark")
     sample.add_argument("--env", default="predator_prey")
@@ -69,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--rows", type=int, default=4096)
     sample.add_argument("--rounds", type=int, default=2)
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--fast-path",
+        action="store_true",
+        help="benchmark the vectorized sampling engine instead of the faithful loops",
+    )
 
     sub.add_parser("envs", help="list registered environments")
     sub.add_parser("variants", help="list trainer variants")
@@ -88,6 +103,7 @@ def _cmd_train(args) -> int:
         batch_size=args.batch_size,
         buffer_capacity=args.buffer,
         update_every=args.update_every,
+        fast_path=args.fast_path,
     )
     spec = WorkloadSpec(
         algorithm=args.algorithm,
@@ -137,6 +153,7 @@ def _cmd_profile(args) -> int:
         batch_size=args.batch_size,
         buffer_capacity=max(4 * args.batch_size, 4096),
         update_every=100,
+        fast_path=args.fast_path,
     )
     trainer = build_trainer(
         args.algorithm, args.variant, env.obs_dims, env.act_dims,
@@ -178,14 +195,16 @@ def _cmd_sample(args) -> int:
         )
 
     neighbors = 16 if args.batch_size % 16 == 0 else 1
+    fast = args.fast_path
     samplers = [
-        (UniformSampler(), replay),
-        (CacheAwareSampler(neighbors, args.batch_size // neighbors), replay),
-        (PrioritizedSampler(), preplay),
-        (InformationPrioritizedSampler(), preplay),
+        (UniformSampler(fast_path=fast), replay),
+        (CacheAwareSampler(neighbors, args.batch_size // neighbors, fast_path=fast), replay),
+        (PrioritizedSampler(fast_path=fast), preplay),
+        (InformationPrioritizedSampler(fast_path=fast), preplay),
     ]
+    engine = "fast-path (vectorized)" if fast else "faithful (scalar loops)"
     print(f"{args.env}, {args.agents} agents, batch {args.batch_size}, "
-          f"{args.rows} rows, {args.rounds} rounds per strategy")
+          f"{args.rows} rows, {args.rounds} rounds per strategy, {engine} engine")
     baseline_s: Optional[float] = None
     for sampler, target in samplers:
         timing = time_sampler_round(sampler, target, rng, args.batch_size, rounds=args.rounds)

@@ -18,7 +18,14 @@ from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["Run", "expand_runs", "uniform_indices", "reference_points", "runs_from_references"]
+__all__ = [
+    "Run",
+    "expand_runs",
+    "expand_run_arrays",
+    "uniform_indices",
+    "reference_points",
+    "runs_from_references",
+]
 
 
 @dataclass(frozen=True)
@@ -64,17 +71,41 @@ def expand_runs(runs: Sequence[Run], valid_size: int) -> np.ndarray:
     """Flatten runs into a single index array, wrapping at ``valid_size``.
 
     The result has ``sum(run.length)`` entries; every entry lies in
-    ``[0, valid_size)``.
+    ``[0, valid_size)``.  Vectorized: one preallocated output filled by
+    a repeat/cumsum expansion instead of per-run ``concatenate`` parts
+    (index arithmetic is exact, so this is the only implementation —
+    the faithful-vs-fast split lives in the gather/descend loops).
+    """
+    if not runs:
+        raise ValueError("expand_runs requires at least one run")
+    starts = np.fromiter((run.start for run in runs), dtype=np.int64, count=len(runs))
+    lengths = np.fromiter((run.length for run in runs), dtype=np.int64, count=len(runs))
+    return expand_run_arrays(starts, lengths, valid_size)
+
+
+def expand_run_arrays(
+    starts: np.ndarray, lengths: np.ndarray, valid_size: int
+) -> np.ndarray:
+    """Array-form :func:`expand_runs`: runs given as (starts, lengths).
+
+    Used directly by the fast-path samplers, which already hold their
+    reference points and neighbor counts as arrays.
     """
     if valid_size <= 0:
         raise ValueError(f"valid_size must be positive, got {valid_size}")
-    if not runs:
-        raise ValueError("expand_runs requires at least one run")
-    parts: List[np.ndarray] = []
-    for run in runs:
-        if run.start >= valid_size:
-            raise IndexError(
-                f"run start {run.start} out of range [0, {valid_size})"
-            )
-        parts.append((run.start + np.arange(run.length)) % valid_size)
-    return np.concatenate(parts)
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape or starts.ndim != 1 or starts.size == 0:
+        raise ValueError("starts/lengths must be equal-length non-empty 1-D arrays")
+    if np.any(lengths <= 0):
+        raise ValueError(f"run length must be positive, got {int(lengths.min())}")
+    if starts.min() < 0 or starts.max() >= valid_size:
+        bad = starts[np.argmax((starts < 0) | (starts >= valid_size))]
+        raise IndexError(f"run start {bad} out of range [0, {valid_size})")
+    ends = np.cumsum(lengths)
+    total = int(ends[-1])
+    # out[j] = start_of_run(j) + (j - first_flat_position_of_run(j))
+    out = np.arange(total, dtype=np.int64)
+    out += np.repeat(starts - (ends - lengths), lengths)
+    out %= valid_size
+    return out

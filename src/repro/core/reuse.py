@@ -62,6 +62,11 @@ class ReuseWindowSampler(Sampler):
     def set_beta(self, beta: float) -> None:
         self.base.set_beta(beta)
 
+    def set_fast_path(self, enabled: bool) -> None:
+        """Fast-path toggle passes through to the wrapped sampler."""
+        self.base.set_fast_path(enabled)
+        self.fast_path = bool(enabled)
+
     def sample(
         self,
         replay: MultiAgentReplay,

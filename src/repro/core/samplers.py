@@ -19,6 +19,15 @@ Four samplers share one interface (:class:`Sampler.sample`), producing a
 
 Every sampler records the contiguous runs it requested, which the
 memory-hierarchy simulator replays as an address trace.
+
+Each sampler also carries a ``fast_path`` flag selecting the vectorized
+sampling engine: batched sum-tree descents, fancy-index gathers, and
+run-slice batch assembly.  The fast path is *observably equivalent* to
+the scalar path — given the same RNG stream it consumes the same
+variates and produces identical ``MiniBatch.indices``, ``runs``, and
+``weights`` (property-tested), so memsim address traces and reward
+curves are unchanged.  Characterization benches pin ``fast_path=False``
+to preserve the paper's measured loops.
 """
 
 from __future__ import annotations
@@ -31,7 +40,14 @@ from ..buffers.multi_agent import MultiAgentReplay
 from ..buffers.prioritized import PrioritizedReplayBuffer
 from .batch import AgentBatch, MiniBatch
 from .importance import importance_weights
-from .indices import Run, expand_runs, reference_points, runs_from_references, uniform_indices
+from .indices import (
+    Run,
+    expand_run_arrays,
+    expand_runs,
+    reference_points,
+    runs_from_references,
+    uniform_indices,
+)
 from .neighbor_predictor import ThresholdNeighborPredictor
 
 __all__ = [
@@ -47,6 +63,28 @@ __all__ = [
 PAPER_BATCH_SIZE = 1024
 
 
+def _gather_runs_batch(replay: MultiAgentReplay, runs: List[Run]) -> List[AgentBatch]:
+    """Fast-path assembly: preallocated per-agent arrays, slice-filled per run."""
+    return [AgentBatch.from_fields(buf.gather_runs(runs)) for buf in replay.buffers]
+
+
+def _gather_runs_concat(replay: MultiAgentReplay, runs: List[Run]) -> List[AgentBatch]:
+    """Faithful assembly: per-run gathers stitched with np.concatenate."""
+    agents: List[AgentBatch] = []
+    for buf in replay.buffers:
+        parts = [buf.gather_run(run.start, run.length) for run in runs]
+        agents.append(
+            AgentBatch(
+                obs=np.concatenate([p[0] for p in parts]),
+                act=np.concatenate([p[1] for p in parts]),
+                rew=np.concatenate([p[2] for p in parts]),
+                next_obs=np.concatenate([p[3] for p in parts]),
+                done=np.concatenate([p[4] for p in parts]),
+            )
+        )
+    return agents
+
+
 class Sampler:
     """Interface: draw one mini-batch (for every agent) from shared replay."""
 
@@ -55,6 +93,13 @@ class Sampler:
 
     #: True when the sampler needs PrioritizedReplayBuffer storage
     requires_priorities = False
+
+    #: vectorized sampling engine toggle; False keeps the faithful loops
+    fast_path = False
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle the vectorized sampling engine for this sampler."""
+        self.fast_path = bool(enabled)
 
     def set_beta(self, beta: float) -> None:
         """Update the IS-weight compensation exponent; no-op by default."""
@@ -94,20 +139,27 @@ class Sampler:
 class UniformSampler(Sampler):
     """Baseline random mini-batch sampling (common uniform indices array).
 
-    ``vectorized=False`` (default) keeps the reference implementation's
-    per-index gather loop — the measured bottleneck; ``vectorized=True``
-    is the fast-path ablation.
+    ``fast_path=False`` (default) keeps the reference implementation's
+    per-index gather loop — the measured bottleneck; ``fast_path=True``
+    gathers with one fancy-index read per agent.  ``vectorized`` is the
+    historical spelling of the same flag, kept as an alias.
     """
 
     name = "uniform"
 
-    def __init__(self, vectorized: bool = False) -> None:
-        self.vectorized = vectorized
+    def __init__(
+        self, vectorized: bool = False, fast_path: Optional[bool] = None
+    ) -> None:
+        self.fast_path = bool(vectorized if fast_path is None else fast_path)
+
+    @property
+    def vectorized(self) -> bool:
+        return self.fast_path
 
     def sample(self, replay, rng, batch_size=PAPER_BATCH_SIZE, agent_idx=0) -> MiniBatch:
         self._check(replay, batch_size)
         indices = uniform_indices(rng, len(replay), batch_size)
-        fields = replay.gather_all(indices, vectorized=self.vectorized)
+        fields = replay.gather_all(indices, vectorized=self.fast_path)
         return MiniBatch(
             agents=[AgentBatch.from_fields(f) for f in fields],
             indices=indices,
@@ -127,15 +179,19 @@ class CacheAwareSampler(Sampler):
         Number of reference points.  ``neighbors * refs`` must equal the
         requested batch size.  The paper evaluates (n=16, ref=64)
         (randomness-preserving) and (n=64, ref=16) (locality-maximizing).
+    fast_path:
+        Assemble the batch into preallocated arrays with one slice copy
+        per run instead of per-run gathers stitched by ``concatenate``.
     """
 
-    def __init__(self, neighbors: int, refs: int) -> None:
+    def __init__(self, neighbors: int, refs: int, fast_path: bool = False) -> None:
         if neighbors <= 0 or refs <= 0:
             raise ValueError(
                 f"neighbors and refs must be positive, got ({neighbors}, {refs})"
             )
         self.neighbors = neighbors
         self.refs = refs
+        self.fast_path = bool(fast_path)
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -152,19 +208,10 @@ class CacheAwareSampler(Sampler):
         refs = reference_points(rng, size, self.refs)
         runs = runs_from_references(refs, self.neighbors)
         indices = expand_runs(runs, size)
-        # gather each run as a contiguous slice from every agent's buffer
-        agents: List[AgentBatch] = []
-        for buf in replay.buffers:
-            parts = [buf.gather_run(run.start, run.length) for run in runs]
-            agents.append(
-                AgentBatch(
-                    obs=np.concatenate([p[0] for p in parts]),
-                    act=np.concatenate([p[1] for p in parts]),
-                    rew=np.concatenate([p[2] for p in parts]),
-                    next_obs=np.concatenate([p[3] for p in parts]),
-                    done=np.concatenate([p[4] for p in parts]),
-                )
-            )
+        if self.fast_path:
+            agents = _gather_runs_batch(replay, runs)
+        else:
+            agents = _gather_runs_concat(replay, runs)
         return MiniBatch(agents=agents, indices=indices, weights=None, runs=runs)
 
 
@@ -173,21 +220,26 @@ class PrioritizedSampler(Sampler):
 
     The drawing agent's prioritized buffer supplies both the common
     indices array and the weights; all agents' data is then gathered at
-    those shared indices (the buffers are in lock-step).
+    those shared indices (the buffers are in lock-step).  With
+    ``fast_path=True`` the proportional draw descends the sum tree as
+    one batched level-wise walk and the gather uses fancy indexing.
     """
 
     name = "per"
     requires_priorities = True
 
-    def set_beta(self, beta: float) -> None:
-        if not 0.0 <= beta <= 1.0:
-            raise ValueError(f"beta must be in [0, 1], got {beta}")
-        self.beta = beta
+    def __init__(self, beta: float = 0.4, fast_path: bool = False) -> None:
+        self.beta = self._validate_beta(beta)
+        self.fast_path = bool(fast_path)
 
-    def __init__(self, beta: float = 0.4) -> None:
+    def set_beta(self, beta: float) -> None:
+        self.beta = self._validate_beta(beta)
+
+    @staticmethod
+    def _validate_beta(beta: float) -> float:
         if not 0.0 <= beta <= 1.0:
             raise ValueError(f"beta must be in [0, 1], got {beta}")
-        self.beta = beta
+        return float(beta)
 
     def _priority_buffer(self, replay: MultiAgentReplay, agent_idx: int) -> PrioritizedReplayBuffer:
         return replay.priority_buffer(agent_idx)
@@ -195,9 +247,11 @@ class PrioritizedSampler(Sampler):
     def sample(self, replay, rng, batch_size=PAPER_BATCH_SIZE, agent_idx=0) -> MiniBatch:
         self._check(replay, batch_size)
         pbuf = self._priority_buffer(replay, agent_idx)
-        indices = pbuf.sample_proportional_indices(rng, batch_size)
-        weights = pbuf.importance_weights(indices, self.beta)
-        fields = replay.gather_all(indices, vectorized=False)
+        indices = pbuf.sample_proportional_indices(
+            rng, batch_size, fast_path=self.fast_path
+        )
+        weights = pbuf.importance_weights(indices, self.beta, fast_path=self.fast_path)
+        fields = replay.gather_all(indices, vectorized=self.fast_path)
         return MiniBatch(
             agents=[AgentBatch.from_fields(f) for f in fields],
             indices=indices,
@@ -212,7 +266,7 @@ class PrioritizedSampler(Sampler):
                 f"td_errors length {td.shape[0]} != batch size {batch.indices.shape[0]}"
             )
         self._priority_buffer(replay, agent_idx).update_priorities(
-            batch.indices, td + 1e-12
+            batch.indices, td + 1e-12, fast_path=self.fast_path
         )
 
 
@@ -225,6 +279,14 @@ class InformationPrioritizedSampler(PrioritizedSampler):
     from the reference probabilities, inherited by the run's rows)
     de-bias the weighted TD update.  Expansion continues until the batch
     is full; the final run is truncated to land exactly on ``batch_size``.
+
+    The scalar path pays one tree query per reference (the faithful
+    loop).  The fast path draws references in *chunks*: each chunk holds
+    ``ceil(remaining / max_neighbors)`` references — few enough that all
+    of them are guaranteed to be consumed even if every one predicts the
+    maximum neighbor count — so the chunked draw consumes exactly the
+    same RNG stream as the one-at-a-time loop, and the resulting runs,
+    indices, and weights are identical.
     """
 
     name = "info_prioritized"
@@ -233,14 +295,17 @@ class InformationPrioritizedSampler(PrioritizedSampler):
         self,
         beta: float = 0.4,
         predictor: Optional[ThresholdNeighborPredictor] = None,
+        fast_path: bool = False,
     ) -> None:
-        super().__init__(beta=beta)
+        super().__init__(beta=beta, fast_path=fast_path)
         self.predictor = predictor if predictor is not None else ThresholdNeighborPredictor()
 
     def sample(self, replay, rng, batch_size=PAPER_BATCH_SIZE, agent_idx=0) -> MiniBatch:
         self._check(replay, batch_size)
         pbuf = self._priority_buffer(replay, agent_idx)
         size = len(replay)
+        if self.fast_path:
+            return self._sample_fast(replay, pbuf, rng, batch_size, size)
         runs: List[Run] = []
         ref_indices: List[int] = []
         ref_counts: List[int] = []
@@ -261,18 +326,53 @@ class InformationPrioritizedSampler(PrioritizedSampler):
         ref_probs = pbuf.probabilities(ref_indices)
         ref_weights = importance_weights(ref_probs, size, self.beta)
         weights = np.repeat(ref_weights, ref_counts)
-        agents: List[AgentBatch] = []
-        for buf in replay.buffers:
-            parts = [buf.gather_run(run.start, run.length) for run in runs]
-            agents.append(
-                AgentBatch(
-                    obs=np.concatenate([p[0] for p in parts]),
-                    act=np.concatenate([p[1] for p in parts]),
-                    rew=np.concatenate([p[2] for p in parts]),
-                    next_obs=np.concatenate([p[3] for p in parts]),
-                    done=np.concatenate([p[4] for p in parts]),
-                )
-            )
+        agents = _gather_runs_concat(replay, runs)
+        return MiniBatch(agents=agents, indices=indices, weights=weights, runs=runs)
+
+    def _sample_fast(
+        self,
+        replay: MultiAgentReplay,
+        pbuf: PrioritizedReplayBuffer,
+        rng: np.random.Generator,
+        batch_size: int,
+        size: int,
+    ) -> MiniBatch:
+        """Chunked reference draws + batched expansion (stream-equivalent)."""
+        max_count = self.predictor.max_count
+        ref_chunks: List[np.ndarray] = []
+        count_chunks: List[np.ndarray] = []
+        filled = 0
+        while filled < batch_size:
+            remaining = batch_size - filled
+            # ceil(remaining / max_count) references are always all
+            # consumed: even at max_count each, the first chunk-1 of them
+            # fill < remaining rows, matching the scalar loop's draws.
+            chunk = -(-remaining // max_count)
+            refs = pbuf.sample_reference_chunk(rng, chunk)
+            norm = pbuf.normalized_priorities(refs, fast_path=True)
+            counts = self.predictor.predict_batch(norm).astype(np.int64)
+            chunk_fill = int(counts.sum())
+            if chunk_fill > remaining:  # only the final reference truncates
+                counts[-1] -= chunk_fill - remaining
+                chunk_fill = remaining
+            ref_chunks.append(refs)
+            count_chunks.append(counts)
+            filled += chunk_fill
+        ref_indices = np.concatenate(ref_chunks)
+        ref_counts = np.concatenate(count_chunks)
+        runs = [
+            Run(int(start), int(count))
+            for start, count in zip(ref_indices, ref_counts)
+        ]
+        indices = expand_run_arrays(ref_indices, ref_counts, size)
+        ref_probs = pbuf.probabilities(ref_indices, fast_path=True)
+        ref_weights = importance_weights(ref_probs, size, self.beta)
+        weights = np.repeat(ref_weights, ref_counts)
+        # Runs here are 1-4 rows (the predictor's neighbor counts), so a
+        # single fancy-index read over the expanded indices beats per-run
+        # slice assembly; the run list still feeds the memsim trace.
+        fields = replay.gather_all(indices, vectorized=True)
+        agents = [AgentBatch.from_fields(f) for f in fields]
         return MiniBatch(agents=agents, indices=indices, weights=weights, runs=runs)
 
     def update_priorities(self, replay, agent_idx, batch, td_errors) -> None:

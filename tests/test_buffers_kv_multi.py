@@ -131,6 +131,29 @@ class TestKVStoreIngest:
         with pytest.raises(ValueError, match="expected 3 buffers"):
             store.ingest(small_replay.buffers[:2])
 
+    def test_ingest_matches_rowwise_bytes(self, rng, small_replay):
+        """Block-copy ingest and the faithful hash-map build are equivalent:
+        byte-identical packed storage, same reshaping cost, same cursor."""
+        block = KVTransitionStore(small_replay.capacity, small_replay.schema)
+        rowwise = KVTransitionStore(small_replay.capacity, small_replay.schema)
+        moved_block = block.ingest(small_replay.buffers)
+        moved_rowwise = rowwise.ingest_rowwise(small_replay.buffers)
+        assert moved_block == moved_rowwise
+        assert block.floats_reshaped == rowwise.floats_reshaped
+        assert len(block) == len(rowwise)
+        assert block._next_idx == rowwise._next_idx
+        assert block._values.tobytes() == rowwise._values.tobytes()
+
+    def test_ingest_rowwise_partial_fill_bytes(self, rng):
+        replay = MultiAgentReplay([6, 4], [2, 3], capacity=32)
+        fill_multi_agent_replay(replay, rng, 11)
+        block = KVTransitionStore(replay.capacity, replay.schema)
+        rowwise = KVTransitionStore(replay.capacity, replay.schema)
+        block.ingest(replay.buffers)
+        rowwise.ingest_rowwise(replay.buffers)
+        assert block._values.tobytes() == rowwise._values.tobytes()
+        assert block.floats_reshaped == rowwise.floats_reshaped
+
 
 class TestMultiAgentReplay:
     def test_lockstep_add(self, rng):
