@@ -1,6 +1,7 @@
 """MARL algorithms: MADDPG, MATD3, and their optimized variants."""
 
 from .agent import ActorCriticAgent
+from .batched_update import BatchedUpdateEngine
 from .checkpoint import checkpoint_metadata, load_checkpoint, save_checkpoint
 from .config import PAPER_CONFIG, MARLConfig
 from .exploration import ExponentialSchedule, LinearSchedule, OrnsteinUhlenbeckNoise
@@ -12,6 +13,7 @@ __all__ = [
     "MARLConfig",
     "PAPER_CONFIG",
     "ActorCriticAgent",
+    "BatchedUpdateEngine",
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_metadata",

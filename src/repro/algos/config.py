@@ -42,6 +42,15 @@ class MARLConfig:
     # vectorized sampling engine: batched tree descents + fancy-index
     # gathers; False preserves the paper's characterized scalar loops
     fast_path: bool = False
+    # stacked-agent batched update engine: run each update round as
+    # (N, ., .) tensor ops over all homogeneous agents at once; False
+    # preserves the characterized per-agent loop
+    batched_update: bool = False
+    # draw one mini-batch per update round and serve it to every drawing
+    # agent (enables the round-level target-action cache: O(N) instead of
+    # O(N^2) target-actor forwards on the scalar path too).  Changes RNG
+    # consumption (one draw per round instead of N), so it is opt-in.
+    shared_batch: bool = False
 
     def __post_init__(self) -> None:
         if self.lr <= 0:

@@ -17,7 +17,7 @@ which all of the paper's optimizations are compared.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from ..profiling.phases import (
 )
 from ..profiling.timers import PhaseTimer
 from .agent import ActorCriticAgent
+from .batched_update import BatchedUpdateEngine
 from .config import MARLConfig
 
 __all__ = ["MADDPGTrainer"]
@@ -64,12 +65,21 @@ class MADDPGTrainer:
         assembly).  ``None`` (default) defers to ``config.fast_path``;
         the scalar loops stay selected unless one of the two asks for
         the fast path, keeping characterization runs faithful.
+    batched_update:
+        Run update rounds through the stacked-agent
+        :class:`~repro.algos.batched_update.BatchedUpdateEngine` (all N
+        homogeneous agents' network math as ``(N, ., .)`` tensor ops —
+        numerically equivalent to the scalar loop under a shared RNG
+        stream).  ``None`` (default) defers to ``config.batched_update``.
+        Requires equal obs/act widths across agents.
     seed:
         Seeds network init, exploration, and sampling.
     """
 
     #: set by subclasses (MATD3) to enable twin critics etc.
     twin_critics = False
+    #: set by subclasses (MATD3) to draw target-policy smoothing noise
+    target_policy_smoothing = False
 
     def __init__(
         self,
@@ -80,6 +90,7 @@ class MADDPGTrainer:
         use_layout: bool = False,
         layout_mode: str = "eager",
         fast_path: Optional[bool] = None,
+        batched_update: Optional[bool] = None,
         seed: Optional[int] = None,
     ) -> None:
         if len(obs_dims) != len(act_dims) or not obs_dims:
@@ -139,6 +150,16 @@ class MADDPGTrainer:
         for a in act_dims:
             self._act_offsets.append(offset)
             offset += a
+        # round-scoped caches: shared mini-batch + per-batch derived values
+        self._shared_round_batch: Optional[MiniBatch] = None
+        self._round_cache: Dict[int, Tuple[MiniBatch, Dict[str, Any]]] = {}
+        if batched_update is not None:
+            self.batched_update = bool(batched_update)
+        else:
+            self.batched_update = bool(self.config.batched_update)
+        self._engine: Optional[BatchedUpdateEngine] = (
+            BatchedUpdateEngine(self) if self.batched_update else None
+        )
 
     # -- stage 1: action selection -------------------------------------------------
 
@@ -173,6 +194,39 @@ class MADDPGTrainer:
         self.steps_since_update += 1
         self.total_env_steps += 1
 
+    def experience_batch(
+        self,
+        obs: Sequence[np.ndarray],
+        act: Sequence[np.ndarray],
+        rew: Sequence[np.ndarray],
+        next_obs: Sequence[np.ndarray],
+        done: Sequence[np.ndarray],
+    ) -> int:
+        """Store K joint transitions in one vectorized write.
+
+        Fields are per-agent stacked arrays — ``obs[a]`` has shape
+        ``(K, obs_dim_a)``, ``rew[a]``/``done[a]`` shape ``(K,)`` — in
+        stream order; buffer contents and cadence counters end up
+        identical to K sequential :meth:`experience` calls without K
+        Python-level buffer round-trips.  Returns K.
+        """
+        with self.timer.phase(BUFFER_WRITE):
+            rows = self.replay.add_batch(obs, act, rew, next_obs, done)
+            if self.layout is not None:
+                # the packed store ingests row-wise; K is small (one
+                # vector-env sweep), the replay write above is the hot part
+                for t in range(rows):
+                    self.layout.notify_insert(
+                        [o[t] for o in obs],
+                        [a[t] for a in act],
+                        [float(r[t]) for r in rew],
+                        [no[t] for no in next_obs],
+                        [bool(d[t]) for d in done],
+                    )
+        self.steps_since_update += rows
+        self.total_env_steps += rows
+        return rows
+
     def should_update(self) -> bool:
         """Paper cadence: update after every ``update_every`` samples, once
         the buffer can serve a full mini-batch."""
@@ -195,36 +249,98 @@ class MADDPGTrainer:
         if len(self.replay) < self.config.batch_size:
             return None
         self.steps_since_update = 0
-        losses: Dict[str, float] = {"q_loss": 0.0, "p_loss": 0.0}
+        policy_due = self._policy_update_due()
         beta = self.beta_schedule.step()
         self.sampler.set_beta(beta)
+        self._shared_round_batch = None
+        self._round_cache = {}
         with self.timer.phase(UPDATE_ALL_TRAINERS):
-            for i in range(self.num_agents):
-                with self.timer.phase(SAMPLING):
-                    batch = self._sample_for(i)
-                with self.timer.phase(TARGET_Q):
-                    target_q = self._target_q(i, batch)
-                with self.timer.phase(LOSS_UPDATE):
-                    q_loss, td = self._update_critic(i, batch, target_q)
-                    p_loss = self._update_actor(i, batch)
-                self.sampler.update_priorities(self.replay, i, batch, td)
-                losses["q_loss"] += q_loss
-                losses["p_loss"] += p_loss
+            if self._engine is not None:
+                losses = self._engine.run_round(policy_due)
+            else:
+                losses = self._scalar_round(policy_due)
+        self.update_rounds += 1
+        return losses
+
+    def _scalar_round(self, policy_due: bool) -> Dict[str, float]:
+        """The paper's characterized per-agent update loop."""
+        losses: Dict[str, float] = {"q_loss": 0.0, "p_loss": 0.0}
+        for i in range(self.num_agents):
+            with self.timer.phase(SAMPLING):
+                batch = self._sample_for(i)
+            with self.timer.phase(TARGET_Q):
+                target_q = self._target_q(i, batch)
+            with self.timer.phase(LOSS_UPDATE):
+                # the joint [obs‖act] matrix is built once per distinct
+                # batch and reused by the critic and actor updates
+                critic_x = self._critic_input_cached(batch)
+                q_loss, td = self._update_critic(i, batch, target_q, critic_x=critic_x)
+                p_loss = (
+                    self._update_actor(i, batch, critic_x=critic_x)
+                    if policy_due
+                    else 0.0
+                )
+            self.sampler.update_priorities(self.replay, i, batch, td)
+            losses["q_loss"] += q_loss
+            losses["p_loss"] += p_loss
+        if policy_due:
             for agent in self.agents:
                 agent.soft_update_targets()
-        self.update_rounds += 1
         losses["q_loss"] /= self.num_agents
         losses["p_loss"] /= self.num_agents
         return losses
 
+    def _policy_update_due(self) -> bool:
+        """Whether this round updates actors and targets (MATD3 delays)."""
+        return True
+
     # -- update internals --------------------------------------------------------------
 
     def _sample_for(self, agent_idx: int) -> MiniBatch:
+        if self.config.shared_batch:
+            if self._shared_round_batch is None:
+                self._shared_round_batch = self._draw_batch(agent_idx)
+            return self._shared_round_batch
+        return self._draw_batch(agent_idx)
+
+    def _draw_batch(self, agent_idx: int) -> MiniBatch:
         if self.layout is not None:
             return self.layout.sample_all_agents(self.rng, self.config.batch_size)
         return self.sampler.sample(
             self.replay, self.rng, self.config.batch_size, agent_idx=agent_idx
         )
+
+    def _round_cache_entry(self, batch: MiniBatch) -> Dict[str, Any]:
+        """Per-batch memo for the current round, keyed by object identity.
+
+        Entries hold the batch itself so identity keys cannot be reused
+        by the allocator mid-round; the cache is reset at round start.
+        """
+        key = id(batch)
+        entry = self._round_cache.get(key)
+        if entry is None or entry[0] is not batch:
+            entry = (batch, {})
+            self._round_cache[key] = entry
+        return entry[1]
+
+    def _critic_input_cached(self, batch: MiniBatch) -> np.ndarray:
+        memo = self._round_cache_entry(batch)
+        if "critic_x" not in memo:
+            memo["critic_x"] = self._critic_input(batch)
+        return memo["critic_x"]
+
+    def _target_actions_cached(self, batch: MiniBatch) -> List[np.ndarray]:
+        """Round-scoped cache of :meth:`_target_actions`.
+
+        When every drawing agent is served the same shared mini-batch
+        (``config.shared_batch``), the N target-actor forwards run once
+        per round instead of once per drawing agent — the scalar-path
+        analogue of the batched engine's O(N²) → O(N) cut.
+        """
+        memo = self._round_cache_entry(batch)
+        if "target_actions" not in memo:
+            memo["target_actions"] = self._target_actions(batch)
+        return memo["target_actions"]
 
     def _target_actions(self, batch: MiniBatch) -> List[np.ndarray]:
         """Every agent's target-policy action at the next observation.
@@ -243,7 +359,7 @@ class MADDPGTrainer:
 
     def _target_q(self, agent_idx: int, batch: MiniBatch) -> np.ndarray:
         """y_i = r_i + gamma * (1 - done_i) * Q'_i(S', a'_1 ... a'_N)."""
-        next_actions = self._target_actions(batch)
+        next_actions = self._target_actions_cached(batch)
         joint_next = np.concatenate(
             [ab.next_obs for ab in batch.agents] + next_actions, axis=1
         )
@@ -262,14 +378,22 @@ class MADDPGTrainer:
             return mse_loss(q, target_q)
         return weighted_mse_loss(q, target_q, weights[:, None])
 
-    def _update_critic(self, agent_idx: int, batch: MiniBatch, target_q: np.ndarray):
+    def _update_critic(
+        self,
+        agent_idx: int,
+        batch: MiniBatch,
+        target_q: np.ndarray,
+        critic_x: Optional[np.ndarray] = None,
+    ):
         """Minimize the (importance-weighted) TD error of the critic.
 
         Returns (loss, per-sample TD errors) — the TD errors feed the
         priority write-back of PER/information-prioritized sampling.
+        ``critic_x`` lets the update round pass the pre-built joint
+        [obs‖act] matrix instead of re-concatenating it here.
         """
         agent = self.agents[agent_idx]
-        x = self._critic_input(batch)
+        x = critic_x if critic_x is not None else self._critic_input(batch)
         q = agent.critic(x)
         loss, grad = self._critic_loss_and_grad(q, target_q, batch.weights)
         agent.critic_optimizer.zero_grad()
@@ -280,14 +404,20 @@ class MADDPGTrainer:
         td = (q - target_q).ravel()
         return loss, td
 
-    def _update_actor(self, agent_idx: int, batch: MiniBatch) -> float:
+    def _update_actor(
+        self,
+        agent_idx: int,
+        batch: MiniBatch,
+        critic_x: Optional[np.ndarray] = None,
+    ) -> float:
         """Deterministic policy gradient through the centralized critic.
 
         Agent i's stored action is replaced by its current policy's soft
         action; the critic input gradient is sliced at agent i's action
         columns and pushed back through the softmax relaxation into the
         actor.  The critic's own parameter gradients accumulated on this
-        pass are discarded.
+        pass are discarded.  ``critic_x`` (when given) is the shared
+        joint [obs‖act] matrix; only a copy is patched.
         """
         agent = self.agents[agent_idx]
         batch_size = batch.size
@@ -298,7 +428,7 @@ class MADDPGTrainer:
         exp = np.exp(shifted / self.config.gumbel_temperature)
         soft_action = exp / exp.sum(axis=1, keepdims=True)
 
-        x = self._critic_input(batch).copy()
+        x = (critic_x if critic_x is not None else self._critic_input(batch)).copy()
         start = self._act_offsets[agent_idx]
         end = start + self.act_dims[agent_idx]
         x[:, start:end] = soft_action

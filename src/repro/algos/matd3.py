@@ -9,17 +9,21 @@ The paper's second workload.  Relative to MADDPG:
    noise to the actions sampled from the buffer").
 3. **Delayed policy updates**: actors and target networks update every
    ``policy_delay`` rounds, letting the critics settle first.
+
+The update-round driver lives in :class:`MADDPGTrainer`; this subclass
+only injects the three fixes (and the delayed-policy gate via
+:meth:`_policy_update_due`), so both the scalar loop and the stacked
+batched engine serve MATD3 unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.batch import MiniBatch
 from ..nn import clip_grad_norm
-from ..profiling.phases import LOSS_UPDATE, SAMPLING, TARGET_Q, UPDATE_ALL_TRAINERS
 from .maddpg import MADDPGTrainer
 
 __all__ = ["MATD3Trainer"]
@@ -29,6 +33,7 @@ class MATD3Trainer(MADDPGTrainer):
     """Twin-delayed multi-agent DDPG."""
 
     twin_critics = True
+    target_policy_smoothing = True
 
     @property
     def name(self) -> str:
@@ -58,10 +63,16 @@ class MATD3Trainer(MADDPGTrainer):
 
     # -- TD3 fix #1 (training side): both critics regress the shared target ---------
 
-    def _update_critic(self, agent_idx: int, batch: MiniBatch, target_q: np.ndarray):
+    def _update_critic(
+        self,
+        agent_idx: int,
+        batch: MiniBatch,
+        target_q: np.ndarray,
+        critic_x: Optional[np.ndarray] = None,
+    ):
         agent = self.agents[agent_idx]
         assert agent.critic2 is not None
-        x = self._critic_input(batch)
+        x = critic_x if critic_x is not None else self._critic_input(batch)
         q1 = agent.critic(x)
         loss1, grad1 = self._critic_loss_and_grad(q1, target_q, batch.weights)
         q2 = agent.critic2(x)
@@ -77,32 +88,5 @@ class MATD3Trainer(MADDPGTrainer):
 
     # -- TD3 fix #3: delayed policy and target updates ----------------------------------
 
-    def update(self, force: bool = False) -> Optional[Dict[str, float]]:
-        if not force and not self.should_update():
-            return None
-        if len(self.replay) < self.config.batch_size:
-            return None
-        self.steps_since_update = 0
-        delayed = (self.update_rounds + 1) % self.config.policy_delay == 0
-        losses: Dict[str, float] = {"q_loss": 0.0, "p_loss": 0.0}
-        beta = self.beta_schedule.step()
-        self.sampler.set_beta(beta)
-        with self.timer.phase(UPDATE_ALL_TRAINERS):
-            for i in range(self.num_agents):
-                with self.timer.phase(SAMPLING):
-                    batch = self._sample_for(i)
-                with self.timer.phase(TARGET_Q):
-                    target_q = self._target_q(i, batch)
-                with self.timer.phase(LOSS_UPDATE):
-                    q_loss, td = self._update_critic(i, batch, target_q)
-                    p_loss = self._update_actor(i, batch) if delayed else 0.0
-                self.sampler.update_priorities(self.replay, i, batch, td)
-                losses["q_loss"] += q_loss
-                losses["p_loss"] += p_loss
-            if delayed:
-                for agent in self.agents:
-                    agent.soft_update_targets()
-        self.update_rounds += 1
-        losses["q_loss"] /= self.num_agents
-        losses["p_loss"] /= self.num_agents
-        return losses
+    def _policy_update_due(self) -> bool:
+        return (self.update_rounds + 1) % self.config.policy_delay == 0

@@ -52,7 +52,12 @@ def summarize(values: Sequence[float]) -> SampleSummary:
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("cannot summarize an empty sample")
-    mean = float(arr.mean())
+    minimum = float(arr.min())
+    maximum = float(arr.max())
+    # summation rounding can push arr.mean() an ulp outside [min, max]
+    # (e.g. five identical subnormal-scale values); the sample mean is
+    # mathematically bounded by the range, so clamp it back
+    mean = min(max(float(arr.mean()), minimum), maximum)
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
     half = _Z95 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
     return SampleSummary(
@@ -61,8 +66,8 @@ def summarize(values: Sequence[float]) -> SampleSummary:
         std=std,
         ci_low=mean - half,
         ci_high=mean + half,
-        minimum=float(arr.min()),
-        maximum=float(arr.max()),
+        minimum=minimum,
+        maximum=maximum,
     )
 
 

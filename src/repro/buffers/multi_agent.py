@@ -96,6 +96,36 @@ class MultiAgentReplay:
             )
         return indices.pop()
 
+    def add_batch(
+        self,
+        obs: Sequence[np.ndarray],
+        act: Sequence[np.ndarray],
+        rew: Sequence[np.ndarray],
+        next_obs: Sequence[np.ndarray],
+        done: Sequence[np.ndarray],
+    ) -> int:
+        """Insert K joint timesteps per agent in one vectorized write.
+
+        Fields are per-agent stacked arrays (``obs[k]`` of shape
+        ``(K, obs_dim_k)``); all buffers advance in lock-step exactly as
+        K :meth:`add` calls would.  Returns K.
+        """
+        n = self.num_agents
+        if not (len(obs) == len(act) == len(rew) == len(next_obs) == len(done) == n):
+            raise ValueError(f"add_batch expects {n} per-agent field arrays")
+        firsts = set()
+        k = None
+        for a, buf in enumerate(self.buffers):
+            idx = buf.add_batch(obs[a], act[a], rew[a], next_obs[a], done[a])
+            firsts.add((int(idx[0]), len(idx)))
+            k = np.asarray(rew[a]).shape[0]
+        if len(firsts) != 1:
+            raise RuntimeError(
+                "per-agent buffers fell out of lock-step; "
+                "do not add to individual buffers directly"
+            )
+        return int(k)
+
     def clear(self) -> None:
         for buf in self.buffers:
             buf.clear()

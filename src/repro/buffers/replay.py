@@ -77,6 +77,44 @@ class ReplayBuffer:
         self._size = min(self._size + 1, self.capacity)
         return idx
 
+    def add_batch(
+        self,
+        obs: np.ndarray,
+        act: np.ndarray,
+        rew: np.ndarray,
+        next_obs: np.ndarray,
+        done: np.ndarray,
+    ) -> np.ndarray:
+        """Append K transitions in stream order with one fancy-index write.
+
+        Equivalent to K sequential :meth:`add` calls (same final ring
+        contents, cursor, and size), minus the K Python-level round
+        trips.  Returns the slot indices actually written — when K
+        exceeds the capacity only the trailing ``capacity`` rows
+        survive, exactly as sequential adds would leave them.
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        act = np.asarray(act, dtype=np.float64)
+        rew = np.asarray(rew, dtype=np.float64)
+        next_obs = np.asarray(next_obs, dtype=np.float64)
+        done = np.asarray(done, dtype=np.float64)
+        k = rew.shape[0]
+        if k == 0:
+            raise ValueError("add_batch requires at least one transition")
+        if not (obs.shape[0] == act.shape[0] == next_obs.shape[0] == done.shape[0] == k):
+            raise ValueError("add_batch fields must share the leading dimension")
+        # rows older than the last `capacity` would be overwritten anyway
+        first = max(0, k - self.capacity)
+        idx = (self._next_idx + np.arange(first, k)) % self.capacity
+        self._obs[idx] = obs[first:]
+        self._act[idx] = act[first:]
+        self._rew[idx] = rew[first:]
+        self._next_obs[idx] = next_obs[first:]
+        self._done[idx] = done[first:]
+        self._next_idx = (self._next_idx + k) % self.capacity
+        self._size = min(self._size + k, self.capacity)
+        return idx
+
     def clear(self) -> None:
         self._next_idx = 0
         self._size = 0

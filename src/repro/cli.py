@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the vectorized sampling engine (equivalent draws, batched execution)",
     )
+    train.add_argument(
+        "--batched-update",
+        action="store_true",
+        help="run update rounds through the stacked-agent batched engine "
+        "(homogeneous agents only; numerically equivalent to the scalar loop)",
+    )
     train.add_argument("--save-json", default=None, help="write RunResult JSON here")
     train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
 
@@ -70,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast-path",
         action="store_true",
         help="profile with the vectorized sampling engine instead of the faithful loops",
+    )
+    profile.add_argument(
+        "--batched-update",
+        action="store_true",
+        help="profile the stacked-agent batched update engine instead of the "
+        "per-agent loop (homogeneous agents only)",
     )
 
     sample = sub.add_parser("sample", help="sampling-strategy microbenchmark")
@@ -104,6 +116,7 @@ def _cmd_train(args) -> int:
         buffer_capacity=args.buffer,
         update_every=args.update_every,
         fast_path=args.fast_path,
+        batched_update=args.batched_update,
     )
     spec = WorkloadSpec(
         algorithm=args.algorithm,
@@ -154,6 +167,7 @@ def _cmd_profile(args) -> int:
         buffer_capacity=max(4 * args.batch_size, 4096),
         update_every=100,
         fast_path=args.fast_path,
+        batched_update=args.batched_update,
     )
     trainer = build_trainer(
         args.algorithm, args.variant, env.obs_dims, env.act_dims,

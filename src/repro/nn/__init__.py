@@ -41,6 +41,13 @@ from .mlp import PAPER_HIDDEN_UNITS, actor_mlp, critic_mlp, mlp
 from .module import Module, Parameter
 from .normalizer import RunningNormalizer
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .stacked import (
+    StackedLinear,
+    clip_grad_norm_stacked,
+    stack_adam_states,
+    stack_sequentials,
+    stacked_mlp,
+)
 
 __all__ = [
     "Module",
@@ -68,6 +75,11 @@ __all__ = [
     "SGD",
     "Adam",
     "clip_grad_norm",
+    "StackedLinear",
+    "stacked_mlp",
+    "stack_sequentials",
+    "clip_grad_norm_stacked",
+    "stack_adam_states",
     "one_hot",
     "softmax",
     "gumbel_noise",

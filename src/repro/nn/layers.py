@@ -85,16 +85,21 @@ class ReLU(Module):
 
     def __init__(self) -> None:
         super().__init__()
-        self._mask: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        # np.maximum(x, 0.0) is bit-identical to np.where(x > 0, x, 0.0)
+        # for all finite x (both map +-0.0 to +0.0) but runs in one
+        # pass with no mask materialization; the mask is derived from
+        # the cached input only if backward runs (inference-only
+        # forwards — target networks — never pay for it)
+        self._x = x
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        if self._x is None:
             raise RuntimeError("backward called before forward on ReLU")
-        return np.where(self._mask, grad_out, 0.0)
+        return np.where(self._x > 0, grad_out, 0.0)
 
 
 class LeakyReLU(Module):

@@ -2,9 +2,13 @@
 
 Pairs :class:`~repro.envs.vector.SyncVectorEnv` with a trainer: action
 selection runs ONE batched actor forward per agent for all K copies
-(amortizing the phase the paper offloads to the GPU), and every copy's
-transition is stored individually so the replay and update cadence see
-the same stream K sequential collectors would produce.
+(amortizing the phase the paper offloads to the GPU), and each step's K
+transitions are ingested through the trainer's vectorized
+:meth:`~repro.algos.maddpg.MADDPGTrainer.experience_batch` entry point.
+Ingestion is chunked at update-trigger boundaries, so the replay
+contents, the update cadence, and every RNG draw are identical to the
+K-sequential-``experience``-calls stream — without K Python-level
+buffer round-trips per step.
 """
 
 from __future__ import annotations
@@ -17,6 +21,43 @@ from ..algos.maddpg import MADDPGTrainer
 from ..envs.vector import SyncVectorEnv
 
 __all__ = ["collect_steps"]
+
+
+def _ingest_chunked(
+    trainer: MADDPGTrainer,
+    obs: List[np.ndarray],
+    act: List[np.ndarray],
+    rew: List[np.ndarray],
+    next_obs: List[np.ndarray],
+    done: List[np.ndarray],
+) -> int:
+    """Store K transitions and run updates exactly where the sequential
+    store-one/update-once loop would.
+
+    An update fires once ``steps_since_update`` reaches ``update_every``
+    AND the buffer holds a full warm-up; both gates advance one row at a
+    time, so the next possible trigger point is computable in closed
+    form and the rows in between can be written in one vectorized batch.
+    """
+    config = trainer.config
+    need = max(config.warmup, config.batch_size)
+    total = rew[0].shape[0]
+    pos = 0
+    while pos < total:
+        until_cadence = config.update_every - trainer.steps_since_update
+        until_fill = need - len(trainer.replay)
+        take = min(total - pos, max(until_cadence, until_fill, 1))
+        end = pos + take
+        trainer.experience_batch(
+            [o[pos:end] for o in obs],
+            [a[pos:end] for a in act],
+            [r[pos:end] for r in rew],
+            [no[pos:end] for no in next_obs],
+            [d[pos:end] for d in done],
+        )
+        trainer.update()
+        pos = end
+    return total
 
 
 def collect_steps(
@@ -34,6 +75,7 @@ def collect_steps(
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
     obs = vec_env.reset()
+    num_agents = vec_env.num_agents
     rewards_sum = 0.0
     updates_before = trainer.update_rounds
     stored = 0
@@ -42,25 +84,24 @@ def collect_steps(
         with trainer.timer.phase("action_selection"):
             actions: List[np.ndarray] = [
                 trainer.agents[a].act(obs[a], rng=trainer.rng, explore=explore)
-                for a in range(vec_env.num_agents)
+                for a in range(num_agents)
             ]
-        prev_per_env = vec_env.last_transitions()
         next_obs, rewards, dones, _infos = vec_env.step(actions)
         rewards_sum += float(rewards.mean())
         if learn:
-            for k in range(vec_env.num_envs):
-                trainer.experience(
-                    prev_per_env[k],
-                    [np.asarray(actions[a])[k] for a in range(vec_env.num_agents)],
-                    list(rewards[k]),
-                    # note: on auto-reset steps the stacked next_obs is the
-                    # post-reset observation; the stored next_obs uses the
-                    # terminal flag so the bootstrap is cut there anyway
-                    [np.asarray(next_obs[a])[k] for a in range(vec_env.num_agents)],
-                    list(dones[k]),
-                )
-                stored += 1
-                trainer.update()
+            # per-agent (K, .) stacks; `obs` is the pre-step observation
+            # (post-reset on copies that terminated last step).  On
+            # auto-reset steps the stacked next_obs is the post-reset
+            # observation; the stored next_obs uses the terminal flag so
+            # the bootstrap is cut there anyway.
+            stored += _ingest_chunked(
+                trainer,
+                [np.asarray(obs[a]) for a in range(num_agents)],
+                [np.asarray(actions[a]) for a in range(num_agents)],
+                [rewards[:, a] for a in range(num_agents)],
+                [np.asarray(next_obs[a]) for a in range(num_agents)],
+                [dones[:, a].astype(np.float64) for a in range(num_agents)],
+            )
         obs = next_obs
     return {
         "transitions": float(stored),

@@ -1,0 +1,399 @@
+"""Stacked-agent batched update engine: equivalence with the scalar loop.
+
+The :class:`~repro.algos.batched_update.BatchedUpdateEngine` must be
+observably equivalent to the paper's characterized per-agent loop under
+a shared RNG stream: same losses, same TD errors (observed via the
+priority write-back), same parameter trajectories, and the same RNG
+state afterwards.  The stacked ``np.matmul`` ops are bit-identical to
+the per-slice products, so the comparisons below use exact equality
+wherever the scalar path's own helpers are mirrored slice-for-slice and
+a tight float64 tolerance elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algos import BatchedUpdateEngine, MADDPGTrainer, MARLConfig, MATD3Trainer
+from repro.algos.variants import build_trainer
+from repro.core.samplers import PrioritizedSampler, UniformSampler
+from repro.nn import (
+    Adam,
+    Linear,
+    ReLU,
+    Sequential,
+    StackedLinear,
+    clip_grad_norm,
+    clip_grad_norm_stacked,
+    stack_adam_states,
+    stack_sequentials,
+    stacked_mlp,
+)
+
+from tests.conftest import fill_multi_agent_replay
+
+OBS, ACT = 6, 3
+TOL = dict(rtol=1e-10, atol=1e-12)
+
+
+def make_trainer(cls, n, prioritized=False, batched=False, shared=False, seed=11, **cfg):
+    config = MARLConfig(
+        batch_size=16,
+        buffer_capacity=256,
+        update_every=8,
+        hidden_units=(16, 16),
+        batched_update=batched,
+        shared_batch=shared,
+        **cfg,
+    )
+    sampler = PrioritizedSampler() if prioritized else UniformSampler()
+    return cls([OBS] * n, [ACT] * n, config=config, sampler=sampler, seed=seed)
+
+
+def make_pair(cls, n, prioritized=False, shared=False, rows=64):
+    scalar = make_trainer(cls, n, prioritized, batched=False, shared=shared)
+    batched = make_trainer(cls, n, prioritized, batched=True, shared=shared)
+    fill_multi_agent_replay(scalar.replay, np.random.default_rng(5), rows)
+    fill_multi_agent_replay(batched.replay, np.random.default_rng(5), rows)
+    return scalar, batched
+
+
+def spy_td_errors(trainer, sink):
+    """Record every priority write-back's TD errors."""
+    original = trainer.sampler.update_priorities
+
+    def recorder(replay, agent_idx, batch, td_errors):
+        sink.append(np.array(td_errors))
+        return original(replay, agent_idx, batch, td_errors)
+
+    trainer.sampler.update_priorities = recorder
+
+
+def all_networks(agent):
+    nets = [agent.actor, agent.target_actor, agent.critic, agent.target_critic]
+    if agent.twin:
+        nets += [agent.critic2, agent.target_critic2]
+    return nets
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("cls", [MADDPGTrainer, MATD3Trainer])
+    @pytest.mark.parametrize("n", [3, 6])
+    @pytest.mark.parametrize("prioritized", [False, True])
+    def test_matches_scalar_loop(self, cls, n, prioritized):
+        scalar, batched = make_pair(cls, n, prioritized)
+        tds_scalar, tds_batched = [], []
+        spy_td_errors(scalar, tds_scalar)
+        spy_td_errors(batched, tds_batched)
+        for _ in range(5):  # covers both sides of MATD3's policy delay
+            ls = scalar.update(force=True)
+            lb = batched.update(force=True)
+            assert ls is not None and lb is not None
+            np.testing.assert_allclose(ls["q_loss"], lb["q_loss"], **TOL)
+            np.testing.assert_allclose(ls["p_loss"], lb["p_loss"], **TOL)
+        assert len(tds_scalar) == len(tds_batched) == 5 * n
+        for td_s, td_b in zip(tds_scalar, tds_batched):
+            np.testing.assert_allclose(td_s, td_b, **TOL)
+        # identical RNG consumption: sampling + MATD3 smoothing draws
+        assert (
+            scalar.rng.bit_generator.state == batched.rng.bit_generator.state
+        )
+        for ag_s, ag_b in zip(scalar.agents, batched.agents):
+            for net_s, net_b in zip(all_networks(ag_s), all_networks(ag_b)):
+                for name, value in net_s.state_dict().items():
+                    np.testing.assert_allclose(
+                        value, net_b.state_dict()[name], err_msg=name, **TOL
+                    )
+
+    @pytest.mark.parametrize("cls", [MADDPGTrainer, MATD3Trainer])
+    def test_matches_scalar_loop_shared_batch(self, cls):
+        scalar, batched = make_pair(cls, 3, shared=True)
+        for _ in range(4):
+            ls = scalar.update(force=True)
+            lb = batched.update(force=True)
+            np.testing.assert_allclose(ls["q_loss"], lb["q_loss"], **TOL)
+            np.testing.assert_allclose(ls["p_loss"], lb["p_loss"], **TOL)
+        assert scalar.rng.bit_generator.state == batched.rng.bit_generator.state
+
+    def test_priority_trees_match(self):
+        scalar, batched = make_pair(MADDPGTrainer, 3, prioritized=True)
+        for _ in range(3):
+            scalar.update(force=True)
+            batched.update(force=True)
+        for i in range(3):
+            tree_s = scalar.replay.priority_buffer(i)._sum_tree._tree
+            tree_b = batched.replay.priority_buffer(i)._sum_tree._tree
+            np.testing.assert_allclose(tree_s, tree_b, **TOL)
+
+    def test_matd3_policy_delay_respected(self):
+        _, batched = make_pair(MATD3Trainer, 3)
+        losses = [batched.update(force=True) for _ in range(4)]
+        # policy_delay=2: the policy updates on rounds where
+        # (update_rounds + 1) % 2 == 0, i.e. the 2nd and 4th rounds
+        assert losses[0]["p_loss"] == 0.0
+        assert losses[1]["p_loss"] != 0.0
+        assert losses[2]["p_loss"] == 0.0
+        assert losses[3]["p_loss"] != 0.0
+
+
+class TestEngineWiring:
+    def test_heterogeneous_agents_rejected(self):
+        config = MARLConfig(
+            batch_size=16, buffer_capacity=64, batched_update=True
+        )
+        with pytest.raises(ValueError, match="homogeneous"):
+            MADDPGTrainer([6, 7, 6], [3, 3, 3], config=config, seed=0)
+
+    def test_config_flag_builds_engine(self):
+        trainer = make_trainer(MADDPGTrainer, 3, batched=True)
+        assert isinstance(trainer._engine, BatchedUpdateEngine)
+        assert trainer.batched_update is True
+
+    def test_default_has_no_engine(self):
+        trainer = make_trainer(MADDPGTrainer, 3)
+        assert trainer._engine is None
+        assert trainer.batched_update is False
+
+    def test_explicit_arg_overrides_config(self):
+        config = MARLConfig(
+            batch_size=16, buffer_capacity=64, batched_update=True
+        )
+        off = MADDPGTrainer(
+            [OBS] * 3, [ACT] * 3, config=config, batched_update=False, seed=0
+        )
+        assert off._engine is None
+        config2 = MARLConfig(batch_size=16, buffer_capacity=64)
+        on = MADDPGTrainer(
+            [OBS] * 3, [ACT] * 3, config=config2, batched_update=True, seed=0
+        )
+        assert isinstance(on._engine, BatchedUpdateEngine)
+
+    def test_build_trainer_threads_config(self):
+        config = MARLConfig(
+            batch_size=16, buffer_capacity=64, batched_update=True
+        )
+        trainer = build_trainer(
+            "matd3", "baseline", [OBS] * 3, [ACT] * 3, config=config, seed=0
+        )
+        assert isinstance(trainer._engine, BatchedUpdateEngine)
+
+    def test_cli_flag(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["train", "--batched-update"])
+        assert args.batched_update is True
+        args = parser.parse_args(["profile", "--batched-update"])
+        assert args.batched_update is True
+
+    def test_optimizer_views_stay_coherent(self):
+        trainer = make_trainer(MADDPGTrainer, 3, batched=True)
+        fill_multi_agent_replay(trainer.replay, np.random.default_rng(5), 64)
+        trainer.update(force=True)
+        engine = trainer._engine
+        for i, agent in enumerate(trainer.agents):
+            assert np.shares_memory(
+                agent.actor_optimizer._m[0], engine.actor_optimizer._m[0]
+            )
+            assert np.shares_memory(
+                agent.actor.parameters()[0].value,
+                engine.actors.parameters()[0].value,
+            )
+            assert agent.actor_optimizer.t == engine.actor_optimizer.t
+            assert agent.critic_optimizer.t == engine.critic_optimizer.t
+
+    def test_scalar_act_sees_stacked_updates(self):
+        """After engine rounds, the per-agent actors (used by act()) must
+        reflect the stacked parameter updates."""
+        trainer = make_trainer(MADDPGTrainer, 3, batched=True)
+        fill_multi_agent_replay(trainer.replay, np.random.default_rng(5), 64)
+        obs = np.random.default_rng(9).normal(size=OBS)
+        before = trainer.agents[0].act(obs, explore=False)
+        trainer.update(force=True)
+        after = trainer.agents[0].act(obs, explore=False)
+        assert not np.allclose(before, after)
+        engine_logits = trainer._engine.actors(
+            np.broadcast_to(obs, (3, 1, OBS))
+        )
+        scalar_logits = trainer.agents[0].actor(obs[None, :])
+        np.testing.assert_array_equal(engine_logits[0], scalar_logits)
+
+
+class TestScalarRoundCaches:
+    def test_shared_batch_samples_once_per_round(self):
+        trainer = make_trainer(MADDPGTrainer, 3, shared=True)
+        fill_multi_agent_replay(trainer.replay, np.random.default_rng(5), 64)
+        calls = []
+        original = trainer.sampler.sample
+
+        def spy(replay, rng, batch_size, agent_idx=0):
+            calls.append(agent_idx)
+            return original(replay, rng, batch_size, agent_idx=agent_idx)
+
+        trainer.sampler.sample = spy
+        trainer.update(force=True)
+        assert calls == [0]
+
+    def test_shared_batch_computes_target_actions_once(self):
+        trainer = make_trainer(MADDPGTrainer, 3, shared=True)
+        fill_multi_agent_replay(trainer.replay, np.random.default_rng(5), 64)
+        count = {"n": 0}
+        original = trainer._target_actions
+
+        def spy(batch):
+            count["n"] += 1
+            return original(batch)
+
+        trainer._target_actions = spy
+        trainer.update(force=True)
+        assert count["n"] == 1
+        trainer.update(force=True)  # cache is round-scoped, not sticky
+        assert count["n"] == 2
+
+    def test_default_path_computes_target_actions_per_agent(self):
+        trainer = make_trainer(MADDPGTrainer, 3)
+        fill_multi_agent_replay(trainer.replay, np.random.default_rng(5), 64)
+        count = {"n": 0}
+        original = trainer._target_actions
+
+        def spy(batch):
+            count["n"] += 1
+            return original(batch)
+
+        trainer._target_actions = spy
+        trainer.update(force=True)
+        assert count["n"] == 3
+
+    def test_critic_input_built_once_per_agent(self):
+        trainer = make_trainer(MADDPGTrainer, 3)
+        fill_multi_agent_replay(trainer.replay, np.random.default_rng(5), 64)
+        count = {"n": 0}
+        original = trainer._critic_input
+
+        def spy(batch):
+            count["n"] += 1
+            return original(batch)
+
+        trainer._critic_input = spy
+        trainer.update(force=True)
+        # once per agent (shared by critic + actor updates), not twice
+        assert count["n"] == 3
+
+
+class TestStackedSubstrate:
+    def test_stacked_linear_matches_per_slice(self, rng):
+        layers = [Linear(7, 5, rng=rng) for _ in range(4)]
+        values = [l.weight.value.copy() for l in layers]
+        stacked = StackedLinear.from_layers(layers)
+        x = rng.normal(size=(4, 9, 7))
+        out = stacked(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = stacked.backward(grad_out)
+        for i, layer in enumerate(layers):
+            ref = Linear(7, 5, rng=np.random.default_rng(0))
+            ref.weight.value[...] = values[i]
+            ref.bias.value[...] = 0.0
+            np.testing.assert_array_equal(out[i], ref(x[i]))
+            ref_grad_in = ref.backward(grad_out[i])
+            np.testing.assert_array_equal(grad_in[i], ref_grad_in)
+            np.testing.assert_array_equal(stacked.weight.grad[i], ref.weight.grad)
+            np.testing.assert_array_equal(stacked.bias.grad[i], ref.bias.grad)
+
+    def test_from_layers_adopts_views(self, rng):
+        layers = [Linear(4, 3, rng=rng) for _ in range(2)]
+        stacked = StackedLinear.from_layers(layers)
+        stacked.weight.value[0, 0, 0] = 42.0
+        assert layers[0].weight.value[0, 0] == 42.0
+        layers[1].weight.value[1, 1] = -7.0
+        assert stacked.weight.value[1, 1, 1] == -7.0
+
+    def test_stack_sequentials_matches_scalar_forward(self, rng):
+        nets = [
+            Sequential(Linear(5, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+            for _ in range(3)
+        ]
+        stacked = stack_sequentials(nets)
+        x = rng.normal(size=(3, 6, 5))
+        out = stacked(x)
+        for i, net in enumerate(nets):
+            np.testing.assert_array_equal(out[i], net(x[i]))
+
+    def test_stack_sequentials_rejects_mismatched(self, rng):
+        nets = [
+            Sequential(Linear(5, 8, rng=rng)),
+            Sequential(Linear(5, 9, rng=rng)),
+        ]
+        with pytest.raises(ValueError):
+            stack_sequentials(nets)
+
+    def test_stacked_mlp_shapes(self, rng):
+        net = stacked_mlp(4, 6, 3, hidden=(8, 8), rng=rng)
+        out = net(rng.normal(size=(4, 10, 6)))
+        assert out.shape == (4, 10, 3)
+
+    def test_clip_grad_norm_stacked_matches_scalar(self, rng):
+        nets = [
+            Sequential(Linear(5, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+            for _ in range(3)
+        ]
+        grads = [
+            [rng.normal(size=p.value.shape) * 3.0 for p in net.parameters()]
+            for net in nets
+        ]
+        # scalar reference on copies
+        expected_norms, expected_grads = [], []
+        for net, gs in zip(nets, grads):
+            params = net.parameters()
+            for p, g in zip(params, gs):
+                p.grad[...] = g
+            expected_norms.append(clip_grad_norm(params, 0.5))
+            expected_grads.append([p.grad.copy() for p in params])
+        stacked = stack_sequentials(nets)
+        for j, p in enumerate(stacked.parameters()):
+            for i in range(3):
+                p.grad[i] = grads[i][j]
+        norms = clip_grad_norm_stacked(stacked.parameters(), 0.5)
+        np.testing.assert_array_equal(norms, expected_norms)
+        for j, p in enumerate(stacked.parameters()):
+            for i in range(3):
+                np.testing.assert_array_equal(p.grad[i], expected_grads[i][j])
+
+    def test_stack_adam_states_step_matches_scalar(self, rng):
+        nets = [Sequential(Linear(4, 3, rng=rng)) for _ in range(2)]
+        opts = [Adam(net.parameters(), lr=0.01) for net in nets]
+        grads = [
+            [rng.normal(size=p.value.shape) for p in net.parameters()]
+            for net in nets
+        ]
+        # scalar reference
+        ref_values = []
+        for net, opt, gs in zip(nets, opts, grads):
+            values = [p.value.copy() for p in net.parameters()]
+            ref_net = Sequential(Linear(4, 3, rng=np.random.default_rng(0)))
+            for p, v in zip(ref_net.parameters(), values):
+                p.value[...] = v
+            ref_opt = Adam(ref_net.parameters(), lr=0.01)
+            for p, g in zip(ref_net.parameters(), gs):
+                p.grad[...] = g
+            ref_opt.step()
+            ref_values.append([p.value.copy() for p in ref_net.parameters()])
+        stacked = stack_sequentials(nets)
+        stacked_opt = stack_adam_states(opts, stacked.parameters())
+        for j, p in enumerate(stacked.parameters()):
+            for i in range(2):
+                p.grad[i] = grads[i][j]
+        stacked_opt.step()
+        for j, p in enumerate(stacked.parameters()):
+            for i in range(2):
+                np.testing.assert_array_equal(p.value[i], ref_values[i][j])
+        # per-agent moments alias the stacked buffers
+        assert np.shares_memory(opts[0]._m[0], stacked_opt._m[0])
+
+    def test_stack_adam_states_rejects_diverged_counters(self, rng):
+        nets = [Sequential(Linear(4, 3, rng=rng)) for _ in range(2)]
+        opts = [Adam(net.parameters(), lr=0.01) for net in nets]
+        opts[1].t = 5
+        stacked = stack_sequentials(nets)
+        with pytest.raises(ValueError, match="step counter"):
+            stack_adam_states(opts, stacked.parameters())
