@@ -46,12 +46,14 @@ def make_filled_replay(
     rows: int = BENCH_FILL,
     capacity: int = BENCH_CAPACITY,
     prioritized: bool = False,
+    storage: str = None,
 ) -> MultiAgentReplay:
     """Replay with paper-faithful per-agent dimensions, synthetically filled."""
     obs_dims = env_obs_dims(env_name, num_agents)
     act_dims = [5] * num_agents
     replay = MultiAgentReplay(
-        obs_dims, act_dims, capacity=capacity, prioritized=prioritized
+        obs_dims, act_dims, capacity=capacity, prioritized=prioritized,
+        storage=storage,
     )
     fill_replay(replay, np.random.default_rng(seed), rows)
     return replay

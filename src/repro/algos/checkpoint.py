@@ -15,10 +15,11 @@ blob, readable with plain numpy.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
+from ..buffers.prioritized import PrioritizedReplayBuffer
 from ..nn.module import Module
 from ..nn.optim import Adam
 from .maddpg import MADDPGTrainer
@@ -77,6 +78,11 @@ def checkpoint_metadata(trainer: MADDPGTrainer) -> Dict:
         "update_rounds": trainer.update_rounds,
         "steps_since_update": trainer.steps_since_update,
         "beta_step_count": trainer.beta_schedule.step_count,
+        # ring-cursor state: after wraparound the next overwrite slot is
+        # not derivable from the size, so resumes record it explicitly
+        "replay_size": len(trainer.replay),
+        "replay_next_idx": trainer.replay.buffers[0].next_index,
+        "replay_storage": trainer.replay.storage,
     }
 
 
@@ -106,6 +112,12 @@ def save_checkpoint(
             views = buf.storage_views()
             for field, arr in views.items():
                 arrays[f"replay{i}/{field}"] = np.asarray(arr)
+            if isinstance(buf, PrioritizedReplayBuffer) and len(buf) > 0:
+                idx = np.arange(len(buf))
+                arrays[f"replay{i}/prio"] = buf._sum_tree.leaf_values(idx)
+                arrays[f"replay{i}/max_priority"] = np.array(
+                    [buf._max_priority], dtype=np.float64
+                )
     arrays["__meta__"] = np.frombuffer(
         json.dumps(checkpoint_metadata(trainer)).encode(), dtype=np.uint8
     )
@@ -155,7 +167,7 @@ def load_checkpoint(
             _load_optimizer(f"agent{i}/critic_opt", agent.critic_optimizer, data)
         replay_key = "replay0/obs"
         if replay_key in data:
-            _restore_replay(trainer, data)
+            _restore_replay(trainer, data, meta)
         if strict_progress:
             trainer.total_env_steps = int(meta["total_env_steps"])
             trainer.update_rounds = int(meta["update_rounds"])
@@ -164,23 +176,47 @@ def load_checkpoint(
     return meta
 
 
-def _restore_replay(trainer: MADDPGTrainer, data) -> None:
-    """Refill the trainer's replay from archived buffer contents."""
-    trainer.replay.clear()
-    size = data["replay0/obs"].shape[0]
-    fields: List[Dict[str, np.ndarray]] = []
-    for i in range(trainer.num_agents):
-        fields.append(
-            {
-                name: data[f"replay{i}/{name}"]
-                for name in ("obs", "act", "rew", "next_obs", "done")
-            }
+def _restore_replay(trainer: MADDPGTrainer, data, meta: Dict) -> None:
+    """Refill the trainer's replay from archived buffer contents.
+
+    Rows are written back into their original *slots* (archived views
+    are in slot order, not insertion order), so the ring cursor must be
+    restored from metadata rather than replayed through ``add`` — after
+    wraparound the next overwrite position is not derivable from the
+    size.  Slot assignment goes through the front-end arrays, which on
+    the timestep-major engine are views into the shared arena, so both
+    storage engines round-trip identically.  PER priorities restore from
+    the archived sum-tree leaves; checkpoints predating priority
+    archiving fall back to re-entering every row at the max priority,
+    exactly as the old ``add``-replay restore did.
+    """
+    replay = trainer.replay
+    replay.clear()
+    size = int(data["replay0/obs"].shape[0])
+    if size > replay.capacity:
+        raise ValueError(
+            f"checkpoint holds {size} replay rows; trainer capacity is "
+            f"{replay.capacity}"
         )
-    for row in range(size):
-        trainer.replay.add(
-            [fields[i]["obs"][row] for i in range(trainer.num_agents)],
-            [fields[i]["act"][row] for i in range(trainer.num_agents)],
-            [float(fields[i]["rew"][row]) for i in range(trainer.num_agents)],
-            [fields[i]["next_obs"][row] for i in range(trainer.num_agents)],
-            [bool(fields[i]["done"][row] > 0.5) for i in range(trainer.num_agents)],
-        )
+    for i, buf in enumerate(replay.buffers):
+        buf._obs[:size] = data[f"replay{i}/obs"]
+        buf._act[:size] = data[f"replay{i}/act"]
+        buf._rew[:size] = data[f"replay{i}/rew"]
+        buf._next_obs[:size] = data[f"replay{i}/next_obs"]
+        buf._done[:size] = data[f"replay{i}/done"]
+    next_idx = int(meta.get("replay_next_idx", size % replay.capacity))
+    replay.restore_cursor(size, next_idx)
+    if size == 0:
+        return
+    idx = np.arange(size)
+    for i, buf in enumerate(replay.buffers):
+        if not isinstance(buf, PrioritizedReplayBuffer):
+            continue
+        key = f"replay{i}/prio"
+        if key in data:
+            leaves = np.asarray(data[key], dtype=np.float64)
+            buf._max_priority = float(data[f"replay{i}/max_priority"][0])
+        else:
+            leaves = np.full(size, buf._max_priority**buf.alpha, dtype=np.float64)
+        buf._sum_tree.set_batch(idx, leaves)
+        buf._min_tree.set_batch(idx, leaves)

@@ -51,8 +51,21 @@ class MARLConfig:
     # O(N^2) target-actor forwards on the scalar path too).  Changes RNG
     # consumption (one draw per round instead of N), so it is opt-in.
     shared_batch: bool = False
+    # replay storage engine: "agent_major" (baseline N dense rings) or
+    # "timestep_major" (one shared packed TransitionArena; bit-identical
+    # training, O(m) joint gathers on the fast paths).  None defers to
+    # the REPRO_STORAGE environment variable, then agent_major.
+    storage: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.storage is not None:
+            from ..buffers.storage import STORAGE_ENGINES
+
+            if self.storage not in STORAGE_ENGINES:
+                raise ValueError(
+                    f"unknown storage engine {self.storage!r}; "
+                    f"expected one of {STORAGE_ENGINES}"
+                )
         if self.lr <= 0:
             raise ValueError(f"lr must be positive, got {self.lr}")
         if not 0.0 <= self.gamma <= 1.0:
@@ -78,6 +91,13 @@ class MARLConfig:
             raise ValueError(
                 f"gumbel_temperature must be positive, got {self.gumbel_temperature}"
             )
+
+    @property
+    def resolved_storage(self) -> str:
+        """Concrete storage engine after env-var and default fallback."""
+        from ..buffers.storage import resolve_storage
+
+        return resolve_storage(self.storage)
 
     @property
     def warmup(self) -> int:

@@ -72,6 +72,12 @@ class MADDPGTrainer:
         numerically equivalent to the scalar loop under a shared RNG
         stream).  ``None`` (default) defers to ``config.batched_update``.
         Requires equal obs/act widths across agents.
+    storage:
+        Replay storage engine (``"agent_major"`` / ``"timestep_major"``).
+        ``None`` (default) defers to ``config.storage`` and then the
+        ``REPRO_STORAGE`` environment variable.  The timestep-major
+        arena consumes the identical RNG stream and reproduces
+        agent-major reward curves bit-for-bit.
     seed:
         Seeds network init, exploration, and sampling.
     """
@@ -91,6 +97,7 @@ class MADDPGTrainer:
         layout_mode: str = "eager",
         fast_path: Optional[bool] = None,
         batched_update: Optional[bool] = None,
+        storage: Optional[str] = None,
         seed: Optional[int] = None,
     ) -> None:
         if len(obs_dims) != len(act_dims) or not obs_dims:
@@ -114,13 +121,18 @@ class MADDPGTrainer:
                 "layout reorganization and prioritized sampling are separate "
                 "optimizations in the paper; enable one at a time"
             )
+        self.storage = (
+            storage if storage is not None else self.config.storage
+        )
         self.replay = MultiAgentReplay(
             obs_dims,
             act_dims,
             capacity=self.config.buffer_capacity,
             prioritized=prioritized,
             alpha=self.config.per_alpha,
+            storage=self.storage,
         )
+        self.storage = self.replay.storage  # resolved engine name
         self.layout: Optional[LayoutReorganizer] = (
             LayoutReorganizer(self.replay, mode=layout_mode) if use_layout else None
         )
@@ -140,6 +152,10 @@ class MADDPGTrainer:
             beta0=self.config.per_beta0, total_steps=self.config.per_beta_steps
         )
         self.timer = PhaseTimer()
+        if self.replay.arena is not None:
+            # attribute joint-row gather vs per-agent split inside the
+            # sampling phase breakdowns
+            self.replay.arena.attach_timer(self.timer)
         self.steps_since_update = 0
         self.total_env_steps = 0
         self.update_rounds = 0

@@ -55,14 +55,26 @@ VARIANTS = (
 
 
 def make_sampler(
-    variant: str, batch_size: int, beta: float = 0.4, fast_path: bool = False
+    variant: str,
+    batch_size: int,
+    beta: float = 0.4,
+    fast_path: bool = False,
+    storage: Optional[str] = None,
 ) -> Optional[Sampler]:
     """Sampler for a variant name; None for layout variants (store-served).
 
     ``fast_path=True`` builds the variant's sampler on the vectorized
     sampling engine (observably equivalent draws, batched execution);
     the default keeps the paper's characterized scalar loops.
+
+    ``storage`` is validated here for early feedback but samplers are
+    storage-agnostic by design: each draws *indices* (or runs) and
+    gathers through the replay facade, which routes to the configured
+    engine.  The same sampler object serves both layouts.
     """
+    from ..buffers.storage import resolve_storage
+
+    resolve_storage(storage)  # validate (engine routing lives in the replay)
     if variant == "baseline":
         return UniformSampler(vectorized=False, fast_path=fast_path)
     if variant == "baseline_vectorized":
@@ -115,8 +127,13 @@ def build_trainer(
     act_dims: Sequence[int],
     config: Optional[MARLConfig] = None,
     seed: Optional[int] = None,
+    storage: Optional[str] = None,
 ) -> MADDPGTrainer:
-    """Construct an algorithm x variant trainer on explicit dimensions."""
+    """Construct an algorithm x variant trainer on explicit dimensions.
+
+    ``storage`` overrides ``config.storage`` (and the ``REPRO_STORAGE``
+    environment fallback) to pick the replay storage engine.
+    """
     try:
         trainer_cls = ALGORITHMS[algorithm]
     except KeyError:
@@ -125,7 +142,11 @@ def build_trainer(
         ) from None
     config = config if config is not None else MARLConfig()
     sampler = make_sampler(
-        variant, config.batch_size, beta=config.per_beta0, fast_path=config.fast_path
+        variant,
+        config.batch_size,
+        beta=config.per_beta0,
+        fast_path=config.fast_path,
+        storage=storage if storage is not None else config.storage,
     )
     use_layout = variant in ("layout", "layout_lazy")
     return trainer_cls(
@@ -135,5 +156,6 @@ def build_trainer(
         sampler=sampler,
         use_layout=use_layout,
         layout_mode="lazy" if variant == "layout_lazy" else "eager",
+        storage=storage,
         seed=seed,
     )

@@ -1,20 +1,34 @@
-"""Experience-replay substrate: agent-major, prioritized, and timestep-major.
+"""Experience-replay substrate: front-ends over pluggable storage engines.
 
-Three storage organizations back the paper's experiments:
+Two storage engines back the paper's experiments (selectable per
+:class:`MultiAgentReplay` via ``storage=`` or the ``REPRO_STORAGE``
+environment variable, see :func:`resolve_storage`):
 
-* :class:`ReplayBuffer` / :class:`MultiAgentReplay` — the baseline
-  agent-major layout whose O(N*m) scattered gathers the paper profiles.
-* :class:`PrioritizedReplayBuffer` — PER (sum-tree proportional sampling)
-  for the PER-MADDPG baseline and information-prioritized sampling.
-* :class:`KVTransitionStore` — the timestep-major key-value layout of the
-  data-layout-reorganization optimization (O(m) sampling).
+* ``agent_major`` — :class:`ReplayBuffer` / :class:`MultiAgentReplay`
+  over dense per-agent arrays, the baseline layout whose O(N*m)
+  scattered gathers the paper profiles.  The default.
+* ``timestep_major`` — the same front-ends over one shared packed
+  :class:`TransitionArena` (the paper's §IV-B2 key-value layout), where
+  per-agent fields are zero-copy column views and joint consumers read
+  whole mini-batches with one O(m) row gather.
+
+:class:`PrioritizedReplayBuffer` adds PER (sum-tree proportional
+sampling) on either engine; :class:`KVTransitionStore` is the ingest-
+on-demand reorganization mirror used by the Figure-14 characterization.
 """
 
+from .arena import AGENT_SPLIT, JOINT_GATHER, TransitionArena
 from .kv_layout import KVTransitionStore
 from .multi_agent import MultiAgentReplay
 from .nstep import NStepAccumulator
 from .prioritized import PrioritizedReplayBuffer
 from .replay import PAPER_BUFFER_CAPACITY, ReplayBuffer
+from .storage import (
+    STORAGE_ENGINES,
+    AgentMajorStorage,
+    ArenaAgentStorage,
+    resolve_storage,
+)
 from .sum_tree import MinTree, SegmentTree, SumTree
 from .transition import FLOAT_BYTES, JointSchema, TransitionSchema
 
@@ -23,6 +37,13 @@ __all__ = [
     "PAPER_BUFFER_CAPACITY",
     "PrioritizedReplayBuffer",
     "MultiAgentReplay",
+    "TransitionArena",
+    "JOINT_GATHER",
+    "AGENT_SPLIT",
+    "STORAGE_ENGINES",
+    "resolve_storage",
+    "AgentMajorStorage",
+    "ArenaAgentStorage",
     "KVTransitionStore",
     "NStepAccumulator",
     "SumTree",

@@ -1,35 +1,31 @@
-"""Timestep-major key-value replay store (paper §IV-B2 layout target).
+"""Ingest-on-demand mirror of the timestep-major layout (paper §IV-B2).
 
 The layout-reorganization optimization "transform[s] the replay buffer
 into a hash map with key-value pairs.  The key represents the index, and
 the corresponding values include transition data histories of all agents
-sequentially."  Concretely: one packed row per timestep containing every
-agent's (obs, act, rew, next_obs, done) back to back, so sampling a
-mini-batch for *all* agents is one loop of ``m`` row reads instead of
-``N x m`` scattered gathers — O(m) versus O(N*m).
-
-The store also tracks the float-copy volume of ingesting (reshaping) data
-from agent-major buffers, because the paper's Figure 14 shows that this
-reshaping cost dominates at small N (a net slowdown) and amortizes at
-large N (a net win).
+sequentially."  The packing, row gathers, and per-agent splitting all
+live in :class:`~repro.buffers.arena.TransitionArena` — the same code
+that backs the real ``timestep_major`` storage engine.  This subclass
+adds what the Figure-14 characterization needs on top: *ingest* —
+bulk-reshaping agent-major buffers into the packed layout — plus the
+float-copy accounting that ingest charges, because the paper's Figure 14
+shows that this reshaping cost dominates at small N (a net slowdown) and
+amortizes at large N (a net win).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence
 
-import numpy as np
-
+from .arena import TransitionArena
 from .replay import ReplayBuffer
 from .transition import JointSchema
 
 __all__ = ["KVTransitionStore"]
 
-AgentBatch = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
-
-class KVTransitionStore:
-    """Timestep-major packed replay storage for N agents.
+class KVTransitionStore(TransitionArena):
+    """Timestep-major packed replay mirror with ingest accounting.
 
     Parameters
     ----------
@@ -40,59 +36,10 @@ class KVTransitionStore:
     """
 
     def __init__(self, capacity: int, schema: JointSchema) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = int(capacity)
-        self.schema = schema
-        self._values = np.zeros((capacity, schema.width), dtype=np.float64)
-        self._next_idx = 0
-        self._size = 0
+        super().__init__(capacity, schema)
         self.floats_reshaped = 0  # cumulative ingest copy volume
 
-    def __len__(self) -> int:
-        return self._size
-
-    @property
-    def num_agents(self) -> int:
-        return self.schema.num_agents
-
-    # -- writes ---------------------------------------------------------------
-
-    def append_joint(
-        self,
-        obs: Sequence[np.ndarray],
-        act: Sequence[np.ndarray],
-        rew: Sequence[float],
-        next_obs: Sequence[np.ndarray],
-        done: Sequence[bool],
-    ) -> int:
-        """Append one timestep of all agents' transitions (eager mode)."""
-        n = self.num_agents
-        if not (len(obs) == len(act) == len(rew) == len(next_obs) == len(done) == n):
-            raise ValueError(f"append_joint expects {n} entries per field")
-        row = self._values[self._next_idx]
-        for agent_idx, (start, end) in enumerate(self.schema.agent_offsets()):
-            packed = self.schema.agents[agent_idx].pack(
-                obs[agent_idx],
-                act[agent_idx],
-                float(rew[agent_idx]),
-                next_obs[agent_idx],
-                bool(done[agent_idx]),
-            )
-            row[start:end] = packed
-        idx = self._next_idx
-        self._next_idx = (self._next_idx + 1) % self.capacity
-        self._size = min(self._size + 1, self.capacity)
-        return idx
-
-    def ingest(self, buffers: Sequence[ReplayBuffer]) -> int:
-        """Reorganize agent-major buffers into this store (lazy/batch mode).
-
-        Copies every valid row of every per-agent buffer into the packed
-        layout and returns the number of floats moved — the reshaping cost
-        Figure 14 charges against the optimization.  All buffers must hold
-        the same number of transitions (they do: trainers insert jointly).
-        """
+    def _check_ingest(self, buffers: Sequence[ReplayBuffer]) -> int:
         if len(buffers) != self.num_agents:
             raise ValueError(
                 f"expected {self.num_agents} buffers, got {len(buffers)}"
@@ -105,6 +52,17 @@ class KVTransitionStore:
             raise ValueError(
                 f"ingest of {size} rows exceeds store capacity {self.capacity}"
             )
+        return size
+
+    def ingest(self, buffers: Sequence[ReplayBuffer]) -> int:
+        """Reorganize agent-major buffers into this store (lazy/batch mode).
+
+        Copies every valid row of every per-agent buffer into the packed
+        layout and returns the number of floats moved — the reshaping cost
+        Figure 14 charges against the optimization.  All buffers must hold
+        the same number of transitions (they do: trainers insert jointly).
+        """
+        size = self._check_ingest(buffers)
         moved = 0
         for agent_idx, ((start, end), buf) in enumerate(
             zip(self.schema.agent_offsets(), buffers)
@@ -127,26 +85,13 @@ class KVTransitionStore:
     def ingest_rowwise(self, buffers: Sequence[ReplayBuffer]) -> int:
         """Faithful hash-map build: assemble each timestep's value row by row.
 
-        The paper describes the reorganization as "transform[ing] the
-        replay buffer into a hash map with key-value pairs" whose value
-        packs all agents' transitions for that key.  Building such a map
-        visits every timestep and concatenates N per-agent records — a
-        per-row cost that is what makes reshaping the *dominant* factor
-        at 3-6 agents (Figure 14).  :meth:`ingest` is the vectorized
-        block-copy alternative, benchmarked as an ablation.
+        Building the paper's key-value map visits every timestep and
+        concatenates N per-agent records — a per-row cost that is what
+        makes reshaping the *dominant* factor at 3-6 agents (Figure 14).
+        :meth:`ingest` is the vectorized block-copy alternative,
+        benchmarked as an ablation.
         """
-        if len(buffers) != self.num_agents:
-            raise ValueError(
-                f"expected {self.num_agents} buffers, got {len(buffers)}"
-            )
-        sizes = {len(b) for b in buffers}
-        if len(sizes) != 1:
-            raise ValueError(f"per-agent buffers disagree on size: {sorted(sizes)}")
-        size = sizes.pop()
-        if size > self.capacity:
-            raise ValueError(
-                f"ingest of {size} rows exceeds store capacity {self.capacity}"
-            )
+        size = self._check_ingest(buffers)
         views = [b.storage_views() for b in buffers]
         offsets = self.schema.agent_offsets()
         moved = 0
@@ -167,69 +112,3 @@ class KVTransitionStore:
         self._next_idx = size % self.capacity
         self.floats_reshaped += moved
         return moved
-
-    # -- reads ------------------------------------------------------------------
-
-    def gather_rows(self, indices: Sequence[int]) -> np.ndarray:
-        """The O(m) row gather as a single fancy-index read.
-
-        One numpy take over the packed value block replaces the
-        per-index append loop; the copy volume (m packed rows) is
-        unchanged — only the Python-level overhead goes away.  The
-        faithful per-row loop survives as :meth:`gather_rows_loop` for
-        the characterization ablations.
-        """
-        if len(indices) == 0:
-            raise ValueError("gather_rows on empty index list")
-        if self._size == 0:
-            raise ValueError("gather_rows on empty store")
-        idx = np.asarray(indices, dtype=np.int64)
-        bad = (idx < 0) | (idx >= self._size)
-        if bad.any():
-            i = int(idx[np.argmax(bad)])
-            raise IndexError(f"index {i} out of range for store of size {self._size}")
-        return self._values[idx]
-
-    def gather_rows_loop(self, indices: Sequence[int]) -> np.ndarray:
-        """Reference per-row gather loop (the pre-vectorization path).
-
-        Kept selectable so ablation benches can charge the interpreter
-        overhead of row-at-a-time assembly separately from the layout's
-        O(m)-vs-O(N*m) copy-volume win.
-        """
-        if len(indices) == 0:
-            raise ValueError("gather_rows on empty index list")
-        if self._size == 0:
-            raise ValueError("gather_rows on empty store")
-        rows: List[np.ndarray] = []
-        for i in indices:
-            i = int(i)
-            if not 0 <= i < self._size:
-                raise IndexError(f"index {i} out of range for store of size {self._size}")
-            rows.append(self._values[i])
-        return np.array(rows)
-
-    def unpack_agent(self, rows: np.ndarray, agent_idx: int) -> AgentBatch:
-        """Split packed rows back into one agent's batch fields."""
-        if not 0 <= agent_idx < self.num_agents:
-            raise IndexError(f"agent index {agent_idx} out of range")
-        start, end = self.schema.agent_offsets()[agent_idx]
-        block = rows[:, start:end]
-        s = self.schema.agents[agent_idx].slices()
-        return (
-            block[:, s["obs"]],
-            block[:, s["act"]],
-            block[:, s["rew"]].ravel(),
-            block[:, s["next_obs"]],
-            block[:, s["done"]].ravel(),
-        )
-
-    def gather_all_agents(self, indices: Sequence[int]) -> Dict[int, AgentBatch]:
-        """One-pass mini-batch for every agent from a single index array.
-
-        This is the optimized sampling path: the row gather happens once
-        (O(m)), then per-agent views are cut out of the already-resident
-        packed rows.
-        """
-        rows = self.gather_rows(indices)
-        return {a: self.unpack_agent(rows, a) for a in range(self.num_agents)}

@@ -14,8 +14,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .arena import TransitionArena
 from .prioritized import PrioritizedReplayBuffer
 from .replay import ReplayBuffer
+from .storage import ArenaAgentStorage, resolve_storage
 from .transition import JointSchema
 
 __all__ = ["MultiAgentReplay"]
@@ -36,6 +38,12 @@ class MultiAgentReplay:
         (for PER-MADDPG and the information-prioritized sampler).
     alpha:
         PER priority exponent (only with ``prioritized=True``).
+    storage:
+        Storage engine: ``"agent_major"`` (default — N independent dense
+        rings, the characterized baseline) or ``"timestep_major"`` (one
+        shared packed :class:`~repro.buffers.arena.TransitionArena`,
+        with each per-agent buffer holding zero-copy column views).
+        ``None`` defers to the ``REPRO_STORAGE`` environment variable.
     """
 
     def __init__(
@@ -45,6 +53,7 @@ class MultiAgentReplay:
         capacity: int = 1_000_000,
         prioritized: bool = False,
         alpha: float = 0.6,
+        storage: Optional[str] = None,
     ) -> None:
         if len(obs_dims) != len(act_dims):
             raise ValueError("obs_dims and act_dims must have equal length")
@@ -52,15 +61,25 @@ class MultiAgentReplay:
             raise ValueError("MultiAgentReplay needs at least one agent")
         self.capacity = capacity
         self.prioritized = prioritized
+        self.storage = resolve_storage(storage)
         self.schema = JointSchema.from_dims(list(obs_dims), list(act_dims))
+        if self.storage == "timestep_major":
+            self.arena: Optional[TransitionArena] = TransitionArena(
+                capacity, self.schema
+            )
+        else:
+            self.arena = None
         self.buffers: List[ReplayBuffer] = []
-        for o, a in zip(obs_dims, act_dims):
+        for k, (o, a) in enumerate(zip(obs_dims, act_dims)):
+            backend = (
+                ArenaAgentStorage(self.arena, k) if self.arena is not None else None
+            )
             if prioritized:
                 self.buffers.append(
-                    PrioritizedReplayBuffer(capacity, o, a, alpha=alpha)
+                    PrioritizedReplayBuffer(capacity, o, a, alpha=alpha, backend=backend)
                 )
             else:
-                self.buffers.append(ReplayBuffer(capacity, o, a))
+                self.buffers.append(ReplayBuffer(capacity, o, a, backend=backend))
 
     @property
     def num_agents(self) -> int:
@@ -94,6 +113,8 @@ class MultiAgentReplay:
                 "per-agent buffers fell out of lock-step; "
                 "do not add to individual buffers directly"
             )
+        if self.arena is not None:
+            self.arena.advance(1)
         return indices.pop()
 
     def add_batch(
@@ -124,11 +145,28 @@ class MultiAgentReplay:
                 "per-agent buffers fell out of lock-step; "
                 "do not add to individual buffers directly"
             )
+        if self.arena is not None:
+            self.arena.advance(int(k))
         return int(k)
 
     def clear(self) -> None:
         for buf in self.buffers:
             buf.clear()
+        if self.arena is not None:
+            self.arena.clear()
+
+    def restore_cursor(self, size: int, next_idx: int) -> None:
+        """Set every buffer's (and the arena's) ring cursor exactly.
+
+        Checkpoint resume needs the write cursor, not just the size:
+        after ring wraparound the next overwrite position determines
+        which rows future inserts displace.
+        """
+        for buf in self.buffers:
+            buf._size = int(size)
+            buf._next_idx = int(next_idx)
+        if self.arena is not None:
+            self.arena.set_cursor(size, next_idx)
 
     def sample_indices(
         self, rng: np.random.Generator, batch_size: int
@@ -157,8 +195,25 @@ class MultiAgentReplay:
         """
         fast = vectorized if fast_path is None else fast_path
         if fast:
+            if self.arena is not None:
+                # timestep-major fast path: one O(m) packed-row gather for
+                # all agents, split by joint-schema column offsets.  The
+                # values are bit-identical to the per-agent fancy-index
+                # gathers (same rows, same columns, copy-then-view).
+                return self.arena.gather_all_agents_fields(indices)
             return [buf.gather_vectorized(indices) for buf in self.buffers]
         return [buf.gather(indices) for buf in self.buffers]
+
+    def gather_runs_all(self, runs: Sequence) -> List[tuple]:
+        """Run-slice batch assembly for every agent.
+
+        Agent-major: one :meth:`ReplayBuffer.gather_runs` pass per agent
+        (N preallocated outputs, N x runs slice copies).  Timestep-major:
+        a single run-slice read of packed joint rows, split per agent.
+        """
+        if self.arena is not None:
+            return self.arena.gather_runs_fields(runs)
+        return [buf.gather_runs(runs) for buf in self.buffers]
 
     def priority_buffer(self, agent_idx: int) -> PrioritizedReplayBuffer:
         """Typed access to a prioritized buffer; raises if not prioritized."""

@@ -36,6 +36,10 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         proportional.  PER's canonical value 0.6 is the default.
     eps:
         Additive constant keeping every priority strictly positive.
+    backend:
+        Optional storage backend (see :class:`ReplayBuffer`).  The
+        priority trees live outside the backend — they index *rows*, so
+        they are identical across storage engines.
     """
 
     def __init__(
@@ -45,8 +49,9 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         act_dim: int,
         alpha: float = 0.6,
         eps: float = 1e-6,
+        backend=None,
     ) -> None:
-        super().__init__(capacity, obs_dim, act_dim)
+        super().__init__(capacity, obs_dim, act_dim, backend=backend)
         if alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {alpha}")
         if eps <= 0:

@@ -1,9 +1,16 @@
-"""Per-agent experience replay buffer (agent-major layout).
+"""Per-agent experience replay buffer front-end.
 
-This is the baseline storage organization the paper characterizes:
-each agent owns an independent ring buffer of its transitions, so an
-update round must gather from N distant buffers — the source of the
-irregular, cache-hostile access pattern (Figures 4-5).
+By default this is the baseline agent-major organization the paper
+characterizes: each agent owns an independent ring buffer of its
+transitions, so an update round must gather from N distant buffers —
+the source of the irregular, cache-hostile access pattern (Figures 4-5).
+
+The buffer is a *front-end* over a storage backend
+(:mod:`repro.buffers.storage`): the five field arrays either are dense
+per-agent storage (``agent_major``) or zero-copy column views of a
+shared packed :class:`~repro.buffers.arena.TransitionArena` row
+(``timestep_major``).  Every code path below is backend-agnostic —
+writes through the views land directly in the packed arena row.
 
 Two gather paths are provided:
 
@@ -26,6 +33,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .storage import AgentMajorStorage
 from .transition import TransitionSchema
 
 __all__ = ["ReplayBuffer", "PAPER_BUFFER_CAPACITY"]
@@ -39,22 +47,50 @@ BatchFields = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 class ReplayBuffer:
     """Fixed-capacity ring buffer of one agent's transitions.
 
-    Storage is five preallocated numpy arrays (obs/act/rew/next_obs/done),
-    written cyclically.  ``len(buffer)`` is the number of valid rows.
+    Storage is five preallocated numpy arrays (obs/act/rew/next_obs/done)
+    served by a backend, written cyclically.  ``len(buffer)`` is the
+    number of valid rows.
+
+    ``backend`` selects the storage engine: ``None`` allocates dense
+    agent-major arrays (the characterized baseline); an
+    :class:`~repro.buffers.storage.ArenaAgentStorage` makes the fields
+    zero-copy column views of a shared timestep-major arena.
     """
 
-    def __init__(self, capacity: int, obs_dim: int, act_dim: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        act_dim: int,
+        backend=None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self.schema = TransitionSchema(obs_dim, act_dim)
-        self._obs = np.zeros((capacity, obs_dim), dtype=np.float64)
-        self._act = np.zeros((capacity, act_dim), dtype=np.float64)
-        self._rew = np.zeros(capacity, dtype=np.float64)
-        self._next_obs = np.zeros((capacity, obs_dim), dtype=np.float64)
-        self._done = np.zeros(capacity, dtype=np.float64)
+        if backend is None:
+            backend = AgentMajorStorage(capacity, obs_dim, act_dim)
+        if backend.obs.shape != (capacity, obs_dim) or backend.act.shape != (
+            capacity,
+            act_dim,
+        ):
+            raise ValueError(
+                f"backend shapes {backend.obs.shape}/{backend.act.shape} do not "
+                f"match (capacity={capacity}, obs={obs_dim}, act={act_dim})"
+            )
+        self.backend = backend
+        self._obs = backend.obs
+        self._act = backend.act
+        self._rew = backend.rew
+        self._next_obs = backend.next_obs
+        self._done = backend.done
         self._next_idx = 0
         self._size = 0
+
+    @property
+    def storage(self) -> str:
+        """Storage engine name ('agent_major' or 'timestep_major')."""
+        return self.backend.kind
 
     # -- writes ---------------------------------------------------------------
 
@@ -158,6 +194,34 @@ class ReplayBuffer:
         if self._size == 0:
             raise ValueError("gather on empty buffer")
 
+    def _validate_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Single validation path for every fancy-index read.
+
+        Checks emptiness and bounds once and returns the int64 index
+        array; :meth:`gather_vectorized` and the wraparound fallbacks of
+        :meth:`gather_run` / :meth:`gather_runs` all funnel through here
+        (the latter via :meth:`_take` on already-modular indices).
+        """
+        self._check_indices(indices)
+        idx = np.asarray(indices, dtype=np.int64)
+        bad = (idx < 0) | (idx >= self._size)
+        if bad.any():
+            i = int(idx[np.argmax(bad)])
+            raise IndexError(
+                f"index {i} out of range for buffer of size {self._size}"
+            )
+        return idx
+
+    def _take(self, idx: np.ndarray) -> BatchFields:
+        """Unchecked fancy-index read of all five fields."""
+        return (
+            self._obs[idx],
+            self._act[idx],
+            self._rew[idx],
+            self._next_obs[idx],
+            self._done[idx],
+        )
+
     def gather(self, indices: Sequence[int]) -> BatchFields:
         """Reference-faithful gather: one Python-level lookup per index.
 
@@ -191,20 +255,7 @@ class ReplayBuffer:
 
     def gather_vectorized(self, indices: Sequence[int]) -> BatchFields:
         """Fast-path gather via numpy fancy indexing (ablation comparator)."""
-        self._check_indices(indices)
-        idx = np.asarray(indices, dtype=np.int64)
-        if idx.min() < 0 or idx.max() >= self._size:
-            raise IndexError(
-                f"indices out of range [0, {self._size}): "
-                f"[{idx.min()}, {idx.max()}]"
-            )
-        return (
-            self._obs[idx],
-            self._act[idx],
-            self._rew[idx],
-            self._next_obs[idx],
-            self._done[idx],
-        )
+        return self._take(self._validate_indices(indices))
 
     def gather_run(self, start: int, length: int) -> BatchFields:
         """Contiguous gather ``[start, start + length)`` with wraparound.
@@ -233,7 +284,7 @@ class ReplayBuffer:
         # wraparound: indices advance modulo the valid region (runs longer
         # than the region cycle through it, keeping batch size exact)
         idx = (start + np.arange(length)) % self._size
-        return self.gather_vectorized(idx)
+        return self._take(idx)
 
     def gather_runs(self, runs: Sequence) -> BatchFields:
         """Fast-path batch assembly for a list of contiguous runs.
@@ -276,11 +327,12 @@ class ReplayBuffer:
                 done[pos:stop] = self._done[sl]
             else:  # wraparound: modular indices, as in gather_run
                 idx = (start + np.arange(length)) % size
-                obs[pos:stop] = self._obs[idx]
-                act[pos:stop] = self._act[idx]
-                rew[pos:stop] = self._rew[idx]
-                next_obs[pos:stop] = self._next_obs[idx]
-                done[pos:stop] = self._done[idx]
+                o, a, r, no, d = self._take(idx)
+                obs[pos:stop] = o
+                act[pos:stop] = a
+                rew[pos:stop] = r
+                next_obs[pos:stop] = no
+                done[pos:stop] = d
             pos = stop
         return (obs, act, rew, next_obs, done)
 

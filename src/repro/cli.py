@@ -61,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run update rounds through the stacked-agent batched engine "
         "(homogeneous agents only; numerically equivalent to the scalar loop)",
     )
+    train.add_argument(
+        "--storage",
+        choices=["agent_major", "timestep_major"],
+        default=None,
+        help="replay storage engine: agent_major (baseline N dense rings) or "
+        "timestep_major (shared packed arena; bit-identical training)",
+    )
     train.add_argument("--save-json", default=None, help="write RunResult JSON here")
     train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
 
@@ -83,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the stacked-agent batched update engine instead of the "
         "per-agent loop (homogeneous agents only)",
     )
+    profile.add_argument(
+        "--storage",
+        choices=["agent_major", "timestep_major"],
+        default=None,
+        help="replay storage engine to profile (timestep_major splits the "
+        "sampling phase into joint_gather + agent_split)",
+    )
 
     sample = sub.add_parser("sample", help="sampling-strategy microbenchmark")
     sample.add_argument("--env", default="predator_prey")
@@ -95,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast-path",
         action="store_true",
         help="benchmark the vectorized sampling engine instead of the faithful loops",
+    )
+    sample.add_argument(
+        "--storage",
+        choices=["agent_major", "timestep_major"],
+        default=None,
+        help="replay storage engine backing the benchmarked buffers",
     )
 
     sub.add_parser("envs", help="list registered environments")
@@ -117,6 +137,7 @@ def _cmd_train(args) -> int:
         update_every=args.update_every,
         fast_path=args.fast_path,
         batched_update=args.batched_update,
+        storage=args.storage,
     )
     spec = WorkloadSpec(
         algorithm=args.algorithm,
@@ -168,6 +189,7 @@ def _cmd_profile(args) -> int:
         update_every=100,
         fast_path=args.fast_path,
         batched_update=args.batched_update,
+        storage=args.storage,
     )
     trainer = build_trainer(
         args.algorithm, args.variant, env.obs_dims, env.act_dims,
@@ -199,9 +221,17 @@ def _cmd_sample(args) -> int:
     act_dims = [5] * args.agents
     rng = np.random.default_rng(args.seed)
 
-    replay = MultiAgentReplay(obs_dims, act_dims, capacity=args.rows)
+    replay = MultiAgentReplay(
+        obs_dims, act_dims, capacity=args.rows, storage=args.storage
+    )
     fill_replay(replay, rng, args.rows)
-    preplay = MultiAgentReplay(obs_dims, act_dims, capacity=args.rows, prioritized=True)
+    preplay = MultiAgentReplay(
+        obs_dims,
+        act_dims,
+        capacity=args.rows,
+        prioritized=True,
+        storage=args.storage,
+    )
     fill_replay(preplay, rng, args.rows)
     for i in range(args.agents):
         preplay.priority_buffer(i).update_priorities(

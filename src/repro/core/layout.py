@@ -17,6 +17,12 @@ Two synchronization modes reflect the cost structure of Figure 14:
 The paper reports both views: sampling including reshaping (a slowdown
 at 3-6 agents, +25.8% at 24) and inter-agent sampling alone (1.36x-9.55x
 speedups), which the accessors here expose separately.
+
+When the replay already runs on the ``timestep_major`` storage engine
+(``replay.arena`` is set), there is nothing to reorganize: the
+reorganizer becomes a thin adapter over the replay's own
+:class:`~repro.buffers.arena.TransitionArena` — the store *is* the
+arena, it is never stale, and reshaping costs stay at zero.
 """
 
 from __future__ import annotations
@@ -54,7 +60,13 @@ class LayoutReorganizer:
         self.replay = replay
         self.mode = mode
         self.ingest_mode = ingest
-        self.store = KVTransitionStore(replay.capacity, replay.schema)
+        # Shared-arena mode: a timestep-major replay already holds the
+        # packed layout, so adapt over its arena instead of mirroring.
+        self.shared_arena = getattr(replay, "arena", None) is not None
+        if self.shared_arena:
+            self.store = replay.arena
+        else:
+            self.store = KVTransitionStore(replay.capacity, replay.schema)
         self._synced_through = 0  # joint inserts reflected in the store
         self.reshape_floats = 0
         self.reshape_seconds = 0.0
@@ -65,6 +77,8 @@ class LayoutReorganizer:
     @property
     def stale(self) -> bool:
         """True when the packed store lags the agent-major replay."""
+        if self.shared_arena:
+            return False  # the store IS the replay's storage
         return self._synced_through != len(self.replay) or len(self.store) != len(
             self.replay
         )
@@ -77,8 +91,8 @@ class LayoutReorganizer:
         next_obs: Sequence[np.ndarray],
         done: Sequence[bool],
     ) -> None:
-        """Mirror a joint insert (eager mode); no-op when lazy."""
-        if self.mode != "eager":
+        """Mirror a joint insert (eager mode); no-op when lazy or shared."""
+        if self.mode != "eager" or self.shared_arena:
             return
         start = time.perf_counter()
         self.store.append_joint(obs, act, rew, next_obs, done)
@@ -91,7 +105,11 @@ class LayoutReorganizer:
 
         Returns floats moved.  Timing and volume are accumulated so
         benches can report sampling cost with and without reshaping.
+        Zero-cost no-op in shared-arena mode — the front-end writes
+        already landed in the packed rows.
         """
+        if self.shared_arena:
+            return 0
         start = time.perf_counter()
         if self.ingest_mode == "rowwise":
             moved = self.store.ingest_rowwise(self.replay.buffers)

@@ -64,8 +64,13 @@ PAPER_BATCH_SIZE = 1024
 
 
 def _gather_runs_batch(replay: MultiAgentReplay, runs: List[Run]) -> List[AgentBatch]:
-    """Fast-path assembly: preallocated per-agent arrays, slice-filled per run."""
-    return [AgentBatch.from_fields(buf.gather_runs(runs)) for buf in replay.buffers]
+    """Fast-path assembly: preallocated arrays, slice-filled per run.
+
+    Routed through the replay so the timestep-major engine can serve
+    all agents from one packed run-slice read (joint rows split by
+    schema offsets) instead of N independent per-agent passes.
+    """
+    return [AgentBatch.from_fields(f) for f in replay.gather_runs_all(runs)]
 
 
 def _gather_runs_concat(replay: MultiAgentReplay, runs: List[Run]) -> List[AgentBatch]:

@@ -19,6 +19,25 @@ def make_trainer(cls=MADDPGTrainer, seed=0):
     return cls([6, 4], [3, 3], config=config, seed=seed)
 
 
+def make_homog_trainer(
+    cls=MADDPGTrainer,
+    seed=0,
+    storage=None,
+    batched_update=False,
+    sampler=None,
+    capacity=256,
+):
+    """Homogeneous dims so the batched update engine is applicable."""
+    config = MARLConfig(
+        batch_size=16,
+        buffer_capacity=capacity,
+        update_every=8,
+        storage=storage,
+        batched_update=batched_update,
+    )
+    return cls([5, 5], [3, 3], config=config, sampler=sampler, seed=seed)
+
+
 def feed_and_update(trainer, rng, steps=40, updates=2):
     for _ in range(steps):
         obs = [rng.standard_normal(d) for d in trainer.obs_dims]
@@ -143,6 +162,122 @@ class TestReplayArchival:
         fresh = make_trainer()
         load_checkpoint(fresh, path)
         assert len(fresh.replay) == 0
+
+
+class TestEngineRoundTrips:
+    """Resume must be bit-identical for every storage/update engine combo."""
+
+    def _resume_pair(self, make, tmp_path):
+        a = make(seed=1)
+        feed_and_update(a, np.random.default_rng(5), steps=40, updates=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(a, path, include_replay=True)
+        b = make(seed=42)  # different init, fully overwritten by the load
+        load_checkpoint(b, path)
+        a.rng = np.random.default_rng(77)
+        b.rng = np.random.default_rng(77)
+        return a, b, path
+
+    def _assert_updates_identical(self, a, b, rounds=2):
+        for _ in range(rounds):
+            la = a.update(force=True)
+            lb = b.update(force=True)
+            assert la["q_loss"] == lb["q_loss"]  # exact, not approx
+            assert la["p_loss"] == lb["p_loss"]
+        x = np.random.default_rng(3).standard_normal((4, a.joint_dim))
+        for aa, ab in zip(a.agents, b.agents):
+            np.testing.assert_array_equal(aa.critic(x), ab.critic(x))
+            np.testing.assert_array_equal(aa.target_critic(x), ab.target_critic(x))
+
+    def test_batched_engine_resume_bit_identical(self, tmp_path):
+        """Stacked params/Adam moments rebound by view adoption survive a
+        load: np.copyto lands inside the engine's (N, ...) stacks."""
+        make = lambda seed: make_homog_trainer(seed=seed, batched_update=True)
+        a, b, _ = self._resume_pair(make, tmp_path)
+        assert a._engine is not None and b._engine is not None
+        self._assert_updates_identical(a, b)
+
+    def test_arena_backed_resume_bit_identical(self, tmp_path):
+        make = lambda seed: make_homog_trainer(seed=seed, storage="timestep_major")
+        a, b, _ = self._resume_pair(make, tmp_path)
+        assert a.replay.arena is not None and b.replay.arena is not None
+        size = len(a.replay)
+        np.testing.assert_array_equal(
+            a.replay.arena.values[:size], b.replay.arena.values[:size]
+        )
+        assert b.replay.arena.next_index == a.replay.arena.next_index
+        self._assert_updates_identical(a, b)
+
+    def test_arena_plus_batched_resume_bit_identical(self, tmp_path):
+        make = lambda seed: make_homog_trainer(
+            seed=seed, storage="timestep_major", batched_update=True
+        )
+        a, b, _ = self._resume_pair(make, tmp_path)
+        self._assert_updates_identical(a, b)
+
+    def test_cross_engine_checkpoints_interchange(self, tmp_path):
+        """An agent-major checkpoint restores into an arena-backed trainer
+        (and vice versa) with identical subsequent training."""
+        a = make_homog_trainer(seed=1, storage="agent_major")
+        feed_and_update(a, np.random.default_rng(5), steps=40, updates=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(a, path, include_replay=True)
+        b = make_homog_trainer(seed=9, storage="timestep_major")
+        load_checkpoint(b, path)
+        a.rng = np.random.default_rng(77)
+        b.rng = np.random.default_rng(77)
+        self._assert_updates_identical(a, b)
+
+    @pytest.mark.parametrize("storage", ["agent_major", "timestep_major"])
+    def test_per_tree_state_round_trip(self, tmp_path, storage):
+        from repro.core.samplers import PrioritizedSampler
+
+        make = lambda seed: make_homog_trainer(
+            seed=seed, storage=storage, sampler=PrioritizedSampler(beta=0.4)
+        )
+        a = make(1)
+        feed_and_update(a, np.random.default_rng(5), steps=40, updates=2)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(a, path, include_replay=True)
+        b = make(42)
+        load_checkpoint(b, path)
+        size = len(a.replay)
+        idx = np.arange(size)
+        for ba, bb in zip(a.replay.buffers, b.replay.buffers):
+            assert bb._max_priority == ba._max_priority
+            np.testing.assert_array_equal(
+                bb._sum_tree.leaf_values(idx), ba._sum_tree.leaf_values(idx)
+            )
+            assert bb._sum_tree.total() == ba._sum_tree.total()
+            assert bb._min_tree.min() == ba._min_tree.min()
+        a.rng = np.random.default_rng(77)
+        b.rng = np.random.default_rng(77)
+        self._assert_updates_identical(a, b)
+
+    @pytest.mark.parametrize("storage", ["agent_major", "timestep_major"])
+    def test_wraparound_cursor_restored_exactly(self, tmp_path, storage):
+        """After ring wraparound, resumes overwrite the same slots."""
+        make = lambda seed: make_homog_trainer(seed=seed, storage=storage, capacity=32)
+        a = make(1)
+        feed_and_update(a, np.random.default_rng(5), steps=50, updates=0)
+        assert a.replay.buffers[0].next_index == 50 % 32  # wrapped
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(a, path, include_replay=True)
+        b = make(42)
+        load_checkpoint(b, path)
+        assert b.replay.buffers[0].next_index == a.replay.buffers[0].next_index
+        # one more joint insert must displace the same slot in both
+        for t in (a, b):
+            rng2 = np.random.default_rng(11)
+            obs = [rng2.standard_normal(d) for d in t.obs_dims]
+            act = [one_hot(rng2.integers(ad), ad) for ad in t.act_dims]
+            t.experience(obs, act, [0.3, 0.4], obs, [False, False])
+        for ba, bb in zip(a.replay.buffers, b.replay.buffers):
+            for fa, fb in zip(
+                ba.gather_vectorized(np.arange(32)),
+                bb.gather_vectorized(np.arange(32)),
+            ):
+                np.testing.assert_array_equal(fa, fb)
 
 
 class TestValidation:
