@@ -22,7 +22,7 @@ import time
 import numpy as np
 
 import repro
-from repro.envs import SyncVectorEnv, make
+from repro.envs import make, make_vector_env
 from repro.training import MetricsCollector, collect_steps, run_episode_with_metrics
 
 
@@ -62,8 +62,12 @@ def main() -> None:
     seq_action = trainer_seq.timer.total("action_selection")
 
     # -- vectorized collection --------------------------------------------------
-    vec = SyncVectorEnv(
-        [(lambda s=s: make("cooperative_navigation", num_agents=2, seed=s)) for s in seeds]
+    # make_vector_env builds the per-copy seeded factories (seed, seed+1,
+    # ...) and picks the engine: SyncVectorEnv here (workers=0), or the
+    # process-parallel ParallelVectorEnv with --env-workers >= 2 /
+    # REPRO_ENV_WORKERS
+    vec = make_vector_env(
+        "cooperative_navigation", num_agents=2, copies=args.copies, seed=0
     )
     trainer_vec = repro.make_trainer(
         "maddpg", "baseline", vec.obs_dims, vec.act_dims, config=config, seed=args.seed
@@ -72,6 +76,8 @@ def main() -> None:
     stats = collect_steps(vec, trainer_vec, steps=args.steps)
     vec_seconds = time.perf_counter() - start
     vec_action = trainer_vec.timer.total("action_selection")
+    if hasattr(vec, "close"):
+        vec.close()
 
     print(f"collected {int(stats['transitions'])} transitions with {args.copies} copies:")
     print(f"  sequential loop: {seq_seconds:.2f}s "

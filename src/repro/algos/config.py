@@ -51,6 +51,16 @@ class MARLConfig:
     # O(N^2) target-actor forwards on the scalar path too).  Changes RNG
     # consumption (one draw per round instead of N), so it is opt-in.
     shared_batch: bool = False
+    # execution pipeline: rollout worker processes stepping env copies
+    # over shared memory (0 or 1 = the serial SyncVectorEnv engine,
+    # preserving the bit-identity contract)
+    env_workers: int = 0
+    # assemble the next update round's mini-batches on a background
+    # thread while the current round computes; uniform/cache-aware
+    # rounds are served prefetched batches, PER/info-prioritized rounds
+    # discard them via the priority-epoch guard (bit-identical to the
+    # non-prefetch run)
+    prefetch: bool = False
     # replay storage engine: "agent_major" (baseline N dense rings) or
     # "timestep_major" (one shared packed TransitionArena; bit-identical
     # training, O(m) joint gathers on the fast paths).  None defers to
@@ -81,6 +91,10 @@ class MARLConfig:
             )
         if self.update_every <= 0:
             raise ValueError(f"update_every must be positive, got {self.update_every}")
+        if self.env_workers < 0:
+            raise ValueError(
+                f"env_workers must be >= 0, got {self.env_workers}"
+            )
         if self.max_episode_len <= 0:
             raise ValueError(
                 f"max_episode_len must be positive, got {self.max_episode_len}"

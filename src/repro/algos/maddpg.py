@@ -159,6 +159,12 @@ class MADDPGTrainer:
         self.steps_since_update = 0
         self.total_env_steps = 0
         self.update_rounds = 0
+        # execution-pipeline state: the prefetcher's epoch guard watches
+        # priority_epoch — bumped whenever the sampling distribution or
+        # stored priorities change (prioritized inserts, write-backs)
+        self.priority_epoch = 0
+        self._prefetcher = None
+        self._prefetched_round: Dict[int, MiniBatch] = {}
         # column offsets of each agent's action block inside the critic input
         self._obs_total = sum(obs_dims)
         self._act_offsets: List[int] = []
@@ -203,10 +209,14 @@ class MADDPGTrainer:
         done: Sequence[bool],
     ) -> None:
         """Store one joint transition and advance the update cadence."""
+        if self._prefetcher is not None:
+            self._prefetcher.wait_idle()
         with self.timer.phase(BUFFER_WRITE):
             self.replay.add(obs, act, rew, next_obs, done)
             if self.layout is not None:
                 self.layout.notify_insert(obs, act, rew, next_obs, done)
+        if self.replay.prioritized:
+            self.priority_epoch += 1
         self.steps_since_update += 1
         self.total_env_steps += 1
 
@@ -226,6 +236,8 @@ class MADDPGTrainer:
         identical to K sequential :meth:`experience` calls without K
         Python-level buffer round-trips.  Returns K.
         """
+        if self._prefetcher is not None:
+            self._prefetcher.wait_idle()
         with self.timer.phase(BUFFER_WRITE):
             rows = self.replay.add_batch(obs, act, rew, next_obs, done)
             if self.layout is not None:
@@ -239,9 +251,53 @@ class MADDPGTrainer:
                         [no[t] for no in next_obs],
                         [bool(d[t]) for d in done],
                     )
+        if self.replay.prioritized:
+            self.priority_epoch += 1
         self.steps_since_update += rows
         self.total_env_steps += rows
         return rows
+
+    def experience_packed(self, rows: np.ndarray) -> int:
+        """Store K joint transitions given as packed joint-schema rows.
+
+        ``rows`` is ``(K, joint_width)`` in the replay arena's
+        :class:`~repro.buffers.transition.JointSchema` layout — exactly
+        what :meth:`~repro.envs.parallel.ParallelVectorEnv.packed_transitions`
+        exposes over shared memory, so with timestep-major storage the
+        workers' writes flow into the replay ring without per-field
+        splitting.  Buffer contents and cadence counters end up identical
+        to the equivalent :meth:`experience_batch` call.  Returns K.
+        """
+        if self.layout is not None:
+            raise ValueError(
+                "experience_packed does not feed the layout reorganizer; "
+                "use experience_batch when a layout is attached"
+            )
+        if self._prefetcher is not None:
+            self._prefetcher.wait_idle()
+        with self.timer.phase(BUFFER_WRITE):
+            rows_written = self.replay.add_packed_batch(rows)
+        if self.replay.prioritized:
+            self.priority_epoch += 1
+        self.steps_since_update += rows_written
+        self.total_env_steps += rows_written
+        return rows_written
+
+    def attach_prefetcher(self, prefetcher) -> None:
+        """Serve update rounds from a background :class:`PrefetchPipeline`.
+
+        The pipeline draws from its own RNG stream, so attaching it never
+        perturbs this trainer's stream; under PER/info-prioritized
+        sampling the epoch guard discards every assembled round, keeping
+        the training trajectory bit-identical to the non-prefetch run.
+        Pass ``None`` to detach.
+        """
+        if prefetcher is not None and self.layout is not None:
+            raise ValueError(
+                "prefetch is incompatible with layout-reorganized sampling "
+                "(the timestep-major gather shares the trainer's RNG stream)"
+            )
+        self._prefetcher = prefetcher
 
     def should_update(self) -> bool:
         """Paper cadence: update after every ``update_every`` samples, once
@@ -270,11 +326,27 @@ class MADDPGTrainer:
         self.sampler.set_beta(beta)
         self._shared_round_batch = None
         self._round_cache = {}
+        self._prefetched_round = {}
+        if self._prefetcher is not None:
+            # claim last round's background assembly (if still valid),
+            # then immediately schedule the next one so it overlaps this
+            # round's target-Q / loss compute
+            batches = self._prefetcher.take()
+            if batches is not None:
+                if self.config.shared_batch:
+                    self._shared_round_batch = batches[0]
+                else:
+                    self._prefetched_round = dict(enumerate(batches))
+            self._prefetcher.schedule()
         with self.timer.phase(UPDATE_ALL_TRAINERS):
             if self._engine is not None:
                 losses = self._engine.run_round(policy_due)
             else:
                 losses = self._scalar_round(policy_due)
+        if self.sampler.requires_priorities:
+            # the per-agent priority write-backs changed the sampling
+            # distribution: invalidate any in-flight prefetch assembly
+            self.priority_epoch += 1
         self.update_rounds += 1
         return losses
 
@@ -320,6 +392,10 @@ class MADDPGTrainer:
         return self._draw_batch(agent_idx)
 
     def _draw_batch(self, agent_idx: int) -> MiniBatch:
+        if self._prefetched_round:
+            batch = self._prefetched_round.pop(agent_idx, None)
+            if batch is not None:
+                return batch
         if self.layout is not None:
             return self.layout.sample_all_agents(self.rng, self.config.batch_size)
         return self.sampler.sample(

@@ -149,6 +149,52 @@ class MultiAgentReplay:
             self.arena.advance(int(k))
         return int(k)
 
+    def add_packed_batch(self, rows: np.ndarray) -> int:
+        """Insert K timesteps given as packed joint-schema rows.
+
+        ``rows`` is ``(K, schema.width)`` with every agent's transition
+        packed back to back (obs | act | rew | next_obs | done per
+        agent) — exactly the layout
+        :meth:`~repro.envs.parallel.ParallelVectorEnv.packed_transitions`
+        exposes and the timestep-major arena stores.  With an arena
+        backend (non-prioritized) the rows land in the ring with one
+        fancy-index write and no per-field splitting: the shared-memory
+        transition block flows into replay storage without intermediate
+        copies.  Other configurations split the rows by schema offsets
+        and delegate to :meth:`add_batch`.  End state is identical to K
+        :meth:`add` calls either way.  Returns K.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.schema.width:
+            raise ValueError(
+                f"expected packed rows of shape (K, {self.schema.width}), "
+                f"got {rows.shape}"
+            )
+        k = rows.shape[0]
+        if k == 0:
+            raise ValueError("add_packed_batch requires at least one row")
+        if self.arena is not None and not self.prioritized:
+            # direct packed-row ring write; advance the per-agent
+            # front-end cursors in lock-step (they alias these columns)
+            first = max(0, k - self.capacity)
+            idx = (self.arena.next_index + np.arange(first, k)) % self.capacity
+            self.arena.values[idx] = rows[first:]
+            for buf in self.buffers:
+                buf._next_idx = (buf._next_idx + k) % self.capacity
+                buf._size = min(buf._size + k, self.capacity)
+            self.arena.advance(k)
+            return k
+        obs, act, rew, next_obs, done = [], [], [], [], []
+        for a, (start, end) in enumerate(self.schema.agent_offsets()):
+            block = rows[:, start:end]
+            s = self.schema.agents[a].slices()
+            obs.append(block[:, s["obs"]])
+            act.append(block[:, s["act"]])
+            rew.append(block[:, s["rew"]].ravel())
+            next_obs.append(block[:, s["next_obs"]])
+            done.append(block[:, s["done"]].ravel())
+        return self.add_batch(obs, act, rew, next_obs, done)
+
     def clear(self) -> None:
         for buf in self.buffers:
             buf.clear()

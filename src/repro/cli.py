@@ -68,6 +68,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay storage engine: agent_major (baseline N dense rings) or "
         "timestep_major (shared packed arena; bit-identical training)",
     )
+    train.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="train for this many vector steps over --copies env copies through "
+        "the execution pipeline instead of --episodes serial episodes",
+    )
+    train.add_argument(
+        "--copies",
+        type=int,
+        default=8,
+        help="environment copies stepped in lock-step (pipeline mode, with --steps)",
+    )
+    train.add_argument(
+        "--env-workers",
+        type=int,
+        default=None,
+        help="rollout worker processes stepping env copies over shared memory; "
+        "0/1 = serial in-process engine (default; REPRO_ENV_WORKERS overrides)",
+    )
+    train.add_argument(
+        "--prefetch",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="assemble the next round's mini-batches on a background thread "
+        "while the current round computes (--no-prefetch restores the "
+        "bit-identical serial schedule; PER rounds auto-discard via the "
+        "priority-epoch guard either way)",
+    )
     train.add_argument("--save-json", default=None, help="write RunResult JSON here")
     train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
 
@@ -130,6 +159,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_train_pipeline(args, config: MARLConfig) -> int:
+    """Pipelined training: vector steps over K copies, optional overlap."""
+    from .envs.factory import make_vector_env, resolve_env_workers
+    from .training.loop import train_steps
+
+    workers = resolve_env_workers(args.env_workers)
+    vec = make_vector_env(
+        args.env,
+        num_agents=args.agents,
+        copies=args.copies,
+        seed=args.seed,
+        workers=workers,
+    )
+    engine = type(vec).__name__
+    print(
+        f"training {args.algorithm}/{args.env}/{args.agents} agents "
+        f"({args.variant}) for {args.steps} vector steps x {args.copies} copies "
+        f"[{engine}, workers={max(workers, 1)}, "
+        f"prefetch={'on' if args.prefetch else 'off'}]"
+    )
+    trainer = build_trainer(
+        args.algorithm, args.variant, vec.obs_dims, vec.act_dims,
+        config=config, seed=args.seed,
+    )
+    try:
+        result = train_steps(
+            vec,
+            trainer,
+            args.steps,
+            variant=args.variant,
+            env_name=args.env,
+            prefetch=args.prefetch,
+            prefetch_seed=args.seed,
+        )
+    finally:
+        if hasattr(vec, "close"):
+            vec.close()
+    print(
+        f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
+        f"{result.extra['transitions']:.0f} transitions "
+        f"({result.extra['steps_per_second']:.0f} steps/s), "
+        f"mean step reward {result.extra['mean_step_reward']:.3f}"
+    )
+    if args.prefetch:
+        print(
+            f"prefetch: {result.extra['prefetch_hits']:.0f} hits / "
+            f"{result.extra['prefetch_misses']:.0f} misses / "
+            f"{result.extra['prefetch_stale']:.0f} stale, "
+            f"overlap fraction {result.extra['overlap_fraction']:.2f} "
+            f"({result.extra['hidden_sampling_seconds'] * 1e3:.1f}ms sampling hidden)"
+        )
+    timer = PhaseTimer()
+    for key, value in result.phase_totals.items():
+        timer.add(key, value)
+    print("end-to-end:", end_to_end_breakdown(timer, result.total_seconds).render())
+    if args.save_json:
+        result.to_json(args.save_json)
+        print(f"result written to {args.save_json}")
+    return 0
+
+
 def _cmd_train(args) -> int:
     config = MARLConfig(
         batch_size=args.batch_size,
@@ -138,7 +228,11 @@ def _cmd_train(args) -> int:
         fast_path=args.fast_path,
         batched_update=args.batched_update,
         storage=args.storage,
+        env_workers=args.env_workers if args.env_workers is not None else 0,
+        prefetch=args.prefetch,
     )
+    if args.steps is not None:
+        return _cmd_train_pipeline(args, config)
     spec = WorkloadSpec(
         algorithm=args.algorithm,
         env_name=args.env,

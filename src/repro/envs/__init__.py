@@ -9,6 +9,8 @@ paper's quoted spaces (PP-3: Box(16)/Box(14); CN-N: Box(6N)).
 
 from .core import Action, Agent, AgentState, Entity, EntityState, Landmark, World, is_collision
 from .environment import NUM_MOVEMENT_ACTIONS, MultiAgentEnv
+from .factory import make_env_factories, make_vector_env, resolve_env_workers
+from .parallel import ParallelVectorEnv, WorkerCrashError
 from .prey_policy import FleePolicy, make_prey_callback
 from .registry import available_envs, make, register
 from .render import render_episode_frame, render_world
@@ -48,6 +50,11 @@ __all__ = [
     "register",
     "available_envs",
     "SyncVectorEnv",
+    "ParallelVectorEnv",
+    "WorkerCrashError",
+    "make_env_factories",
+    "make_vector_env",
+    "resolve_env_workers",
     "EnvWrapper",
     "NormalizeObservations",
     "ScaleRewards",

@@ -1,0 +1,98 @@
+"""Vector-environment construction helpers.
+
+Every vectorized-collection site (``examples/vectorized_collection.py``,
+the training loop, the execution-pipeline benches and tests) needs the
+same boilerplate: build K per-copy factories with decorrelated seeds,
+then wrap them in a vector env.  :func:`make_vector_env` centralizes
+that, and is the single switch between the single-process
+:class:`~repro.envs.vector.SyncVectorEnv` and the process-parallel
+:class:`~repro.envs.parallel.ParallelVectorEnv`:
+
+* ``workers <= 1`` → ``SyncVectorEnv`` (the serial engine; this is what
+  makes ``--env-workers 1`` trivially bit-identical to the serial path);
+* ``workers >= 2`` → ``ParallelVectorEnv`` with that many worker
+  processes.
+
+When ``workers`` is ``None`` the ``REPRO_ENV_WORKERS`` environment
+variable supplies the default (itself defaulting to 0/serial), which is
+how CI reruns the collection/loop test subset against the parallel
+engine without touching the tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Union
+
+from .environment import MultiAgentEnv
+from .parallel import ParallelVectorEnv
+from .registry import make
+from .vector import SyncVectorEnv
+
+__all__ = ["make_env_factories", "make_vector_env", "resolve_env_workers"]
+
+#: environment variable supplying the default worker count
+ENV_WORKERS_VAR = "REPRO_ENV_WORKERS"
+
+
+def resolve_env_workers(workers: Optional[int] = None) -> int:
+    """Explicit worker count, or the ``REPRO_ENV_WORKERS`` default (0)."""
+    if workers is not None:
+        return int(workers)
+    raw = os.environ.get(ENV_WORKERS_VAR, "").strip()
+    if not raw:
+        return 0
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_WORKERS_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+def make_env_factories(
+    env_name: str,
+    num_agents: int,
+    copies: int,
+    seed: Optional[int] = 0,
+    **env_kwargs,
+) -> List[Callable[[], MultiAgentEnv]]:
+    """One zero-argument env factory per copy, seeded ``seed + k``.
+
+    Copy ``k`` gets seed ``seed + k`` (or ``None`` seeds throughout when
+    ``seed`` is ``None``), so two vector envs built from the same
+    arguments step bit-identical episode streams regardless of which
+    engine executes them.
+    """
+    if copies <= 0:
+        raise ValueError(f"copies must be positive, got {copies}")
+    return [
+        (
+            lambda s=(None if seed is None else seed + k): make(
+                env_name, num_agents=num_agents, seed=s, **env_kwargs
+            )
+        )
+        for k in range(copies)
+    ]
+
+
+def make_vector_env(
+    env_name: str,
+    num_agents: int,
+    copies: int,
+    seed: Optional[int] = 0,
+    workers: Optional[int] = None,
+    max_restarts: int = 0,
+    **env_kwargs,
+) -> Union[SyncVectorEnv, ParallelVectorEnv]:
+    """Build a vector env over ``copies`` seeded copies of ``env_name``.
+
+    ``workers`` selects the engine (see module docstring); extra keyword
+    arguments pass through to :func:`repro.envs.registry.make` (e.g.
+    ``max_episode_len``).
+    """
+    factories = make_env_factories(env_name, num_agents, copies, seed, **env_kwargs)
+    resolved = resolve_env_workers(workers)
+    if resolved <= 1:
+        return SyncVectorEnv(factories)
+    return ParallelVectorEnv(factories, num_workers=resolved, max_restarts=max_restarts)

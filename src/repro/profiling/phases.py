@@ -7,6 +7,22 @@ The names mirror the paper's decomposition:
   bookkeeping).
 * Figure 3 splits *update all trainers* into *mini-batch sampling*,
   *target Q calculation*, and *Q loss + P loss* (network updates).
+
+The execution pipeline (overlapped actor-learner schedule) adds phases
+that make the overlap observable:
+
+* ``env_step.worker_wait`` — time the main thread spends blocked on the
+  parallel rollout workers inside the environment-step phase; the rest
+  of ``env_step`` is IPC plus result assembly.
+* ``prefetch`` — wall time the background thread spends assembling the
+  next round's mini-batches (hidden behind other phases when the
+  pipeline overlaps well).
+* ``prefetch.hit`` / ``prefetch.miss`` / ``prefetch.stale`` — per-round
+  outcome counters: a *hit* served the round from the prefetched
+  batches (the accumulated seconds are the assembly time that was
+  hidden), a *miss* found nothing assembled, and a *stale* discarded an
+  assembled round because priorities or ring contents changed
+  underneath it (the PER epoch guard).
 """
 
 from __future__ import annotations
@@ -21,6 +37,11 @@ __all__ = [
     "SAMPLING",
     "TARGET_Q",
     "LOSS_UPDATE",
+    "WORKER_WAIT",
+    "PREFETCH",
+    "PREFETCH_HIT",
+    "PREFETCH_MISS",
+    "PREFETCH_STALE",
     "TOP_LEVEL_PHASES",
     "UPDATE_SUBPHASES",
     "OTHER_SEGMENTS",
@@ -34,6 +55,14 @@ UPDATE_ALL_TRAINERS = "update_all_trainers"
 SAMPLING = "sampling"
 TARGET_Q = "target_q"
 LOSS_UPDATE = "loss_update"
+
+#: sub-phase of env_step: main thread blocked on parallel rollout workers
+WORKER_WAIT = f"{ENV_STEP}.worker_wait"
+#: background mini-batch assembly (runs on the prefetch thread)
+PREFETCH = "prefetch"
+PREFETCH_HIT = f"{PREFETCH}.hit"
+PREFETCH_MISS = f"{PREFETCH}.miss"
+PREFETCH_STALE = f"{PREFETCH}.stale"
 
 #: Figure-2-level phases ("other segments" = everything not listed).
 TOP_LEVEL_PHASES = (ACTION_SELECTION, UPDATE_ALL_TRAINERS)

@@ -5,10 +5,19 @@ time into named phases and sub-phases.  :class:`PhaseTimer` accumulates
 wall-clock time per dotted phase name (``update_all_trainers.sampling``),
 supporting nesting via context managers and cheap enough to leave
 enabled in production training loops.
+
+The timer is **thread-safe**: each thread carries its own nesting stack
+(so phases opened on the prefetch thread nest independently of the main
+loop's), and completed durations merge into the shared totals under a
+lock.  This is what lets the execution pipeline's background mini-batch
+assembly report ``prefetch.*`` phases into the same timer the trainer
+uses, without cross-thread corruption of either the stacks or the
+accumulators.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
@@ -22,7 +31,18 @@ class PhaseTimer:
     def __init__(self) -> None:
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
-        self._stack: List[str] = []
+        # per-thread nesting stacks; totals/counts are shared and locked
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._active = 0  # phases currently open across all threads
+
+    def _stack(self) -> List[str]:
+        """This thread's private nesting stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -30,22 +50,28 @@ class PhaseTimer:
 
         Nested phases produce dotted keys: entering ``sampling`` while
         ``update_all_trainers`` is active accumulates under
-        ``update_all_trainers.sampling``.
+        ``update_all_trainers.sampling``.  Nesting is per-thread: a phase
+        opened on a background thread starts its own root.
         """
         if not name or "." in name:
             raise ValueError(
                 f"phase names must be non-empty and dot-free, got {name!r}"
             )
-        full = ".".join([*self._stack, name])
-        self._stack.append(name)
+        stack = self._stack()
+        full = ".".join([*stack, name])
+        stack.append(name)
+        with self._lock:
+            self._active += 1
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._stack.pop()
-            self._totals[full] = self._totals.get(full, 0.0) + elapsed
-            self._counts[full] = self._counts.get(full, 0) + 1
+            stack.pop()
+            with self._lock:
+                self._active -= 1
+                self._totals[full] = self._totals.get(full, 0.0) + elapsed
+                self._counts[full] = self._counts.get(full, 0) + 1
 
     # -- direct accumulation (for costs measured elsewhere) -----------------
 
@@ -53,49 +79,63 @@ class PhaseTimer:
         """Accumulate an externally measured duration under ``name``."""
         if seconds < 0:
             raise ValueError(f"cannot add negative time: {seconds}")
-        self._totals[name] = self._totals.get(name, 0.0) + seconds
-        self._counts[name] = self._counts.get(name, 0) + count
+        with self._lock:
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + count
 
     # -- queries ----------------------------------------------------------
 
     def total(self, name: str) -> float:
         """Accumulated seconds for a phase (0.0 if never entered)."""
-        return self._totals.get(name, 0.0)
+        with self._lock:
+            return self._totals.get(name, 0.0)
 
     def count(self, name: str) -> int:
-        return self._counts.get(name, 0)
+        with self._lock:
+            return self._counts.get(name, 0)
 
     def mean(self, name: str) -> float:
-        c = self.count(name)
-        return self.total(name) / c if c else 0.0
+        with self._lock:
+            c = self._counts.get(name, 0)
+            return self._totals.get(name, 0.0) / c if c else 0.0
 
     def phases(self) -> List[str]:
         """All recorded phase keys, sorted."""
-        return sorted(self._totals)
+        with self._lock:
+            return sorted(self._totals)
 
     def children(self, parent: str) -> List[str]:
         """Direct sub-phases of ``parent``."""
         prefix = parent + "."
         out = []
-        for key in self._totals:
+        with self._lock:
+            keys = list(self._totals)
+        for key in keys:
             if key.startswith(prefix) and "." not in key[len(prefix):]:
                 out.append(key)
         return sorted(out)
 
     def totals(self) -> Dict[str, float]:
         """Copy of all accumulated totals."""
-        return dict(self._totals)
+        with self._lock:
+            return dict(self._totals)
 
     def merge(self, other: "PhaseTimer") -> None:
         """Fold another timer's accumulations into this one."""
-        for key, value in other._totals.items():
-            self.add(key, value, other._counts.get(key, 1))
+        with other._lock:
+            items = [
+                (key, value, other._counts.get(key, 1))
+                for key, value in other._totals.items()
+            ]
+        for key, value, count in items:
+            self.add(key, value, count)
 
     def reset(self) -> None:
-        self._totals.clear()
-        self._counts.clear()
-        if self._stack:
-            raise RuntimeError("cannot reset while phases are active")
+        with self._lock:
+            if self._active:
+                raise RuntimeError("cannot reset while phases are active")
+            self._totals.clear()
+            self._counts.clear()
 
     # -- rendering -----------------------------------------------------------
 
@@ -107,25 +147,33 @@ class PhaseTimer:
         an ``(unaccounted)`` line when a parent's own time exceeds its
         children's sum.
         """
-        roots = sorted(k for k in self._totals if "." not in k)
+        with self._lock:
+            totals = dict(self._totals)
+            counts = dict(self._counts)
+        roots = sorted(k for k in totals if "." not in k)
         if not roots:
             return "(no phases recorded)"
-        reference = total if total is not None else sum(
-            self._totals[r] for r in roots
-        )
+        reference = total if total is not None else sum(totals[r] for r in roots)
         if reference <= 0:
             raise ValueError("reference total must be positive")
         lines: List[str] = []
 
+        def children_of(parent: str) -> List[str]:
+            prefix = parent + "."
+            return sorted(
+                k for k in totals
+                if k.startswith(prefix) and "." not in k[len(prefix):]
+            )
+
         def emit(key: str, depth: int) -> None:
-            seconds = self._totals[key]
+            seconds = totals[key]
             name = key.rsplit(".", 1)[-1]
             lines.append(
                 f"{'  ' * depth}{name:<24} {seconds * 1e3:10.2f}ms "
-                f"{seconds / reference * 100:6.1f}%  x{self._counts.get(key, 0)}"
+                f"{seconds / reference * 100:6.1f}%  x{counts.get(key, 0)}"
             )
-            children = self.children(key)
-            child_sum = sum(self._totals[c] for c in children)
+            children = children_of(key)
+            child_sum = sum(totals[c] for c in children)
             for child in children:
                 emit(child, depth + 1)
             if children and seconds - child_sum > 1e-9:

@@ -1,14 +1,22 @@
 """Batched experience collection over vectorized environments.
 
-Pairs :class:`~repro.envs.vector.SyncVectorEnv` with a trainer: action
-selection runs ONE batched actor forward per agent for all K copies
-(amortizing the phase the paper offloads to the GPU), and each step's K
-transitions are ingested through the trainer's vectorized
+Pairs a vector env (:class:`~repro.envs.vector.SyncVectorEnv` or the
+process-parallel :class:`~repro.envs.parallel.ParallelVectorEnv`) with a
+trainer: action selection runs ONE batched actor forward per agent for
+all K copies (amortizing the phase the paper offloads to the GPU), and
+each step's K transitions are ingested through the trainer's vectorized
 :meth:`~repro.algos.maddpg.MADDPGTrainer.experience_batch` entry point.
 Ingestion is chunked at update-trigger boundaries, so the replay
 contents, the update cadence, and every RNG draw are identical to the
 K-sequential-``experience``-calls stream — without K Python-level
 buffer round-trips per step.
+
+When the env exposes packed joint-schema transitions (the parallel
+engine's shared-memory block) and the replay ring is arena-backed, whole
+steps are ingested as packed rows
+(:meth:`~repro.algos.maddpg.MADDPGTrainer.experience_packed`): the
+workers' shared-memory writes land in replay storage with one
+fancy-index row copy and no per-field splitting.
 """
 
 from __future__ import annotations
@@ -18,9 +26,24 @@ from typing import Dict, List
 import numpy as np
 
 from ..algos.maddpg import MADDPGTrainer
-from ..envs.vector import SyncVectorEnv
+from ..profiling.phases import ACTION_SELECTION, ENV_STEP
 
 __all__ = ["collect_steps"]
+
+
+def _ingest_chunk_bounds(trainer: MADDPGTrainer, total: int, pos: int) -> int:
+    """Rows until the next possible update-trigger point.
+
+    An update fires once ``steps_since_update`` reaches ``update_every``
+    AND the buffer holds a full warm-up; both gates advance one row at a
+    time, so the next trigger is computable in closed form and the rows
+    in between can be written in one vectorized batch.
+    """
+    config = trainer.config
+    need = max(config.warmup, config.batch_size)
+    until_cadence = config.update_every - trainer.steps_since_update
+    until_fill = need - len(trainer.replay)
+    return min(total - pos, max(until_cadence, until_fill, 1))
 
 
 def _ingest_chunked(
@@ -32,21 +55,11 @@ def _ingest_chunked(
     done: List[np.ndarray],
 ) -> int:
     """Store K transitions and run updates exactly where the sequential
-    store-one/update-once loop would.
-
-    An update fires once ``steps_since_update`` reaches ``update_every``
-    AND the buffer holds a full warm-up; both gates advance one row at a
-    time, so the next possible trigger point is computable in closed
-    form and the rows in between can be written in one vectorized batch.
-    """
-    config = trainer.config
-    need = max(config.warmup, config.batch_size)
+    store-one/update-once loop would."""
     total = rew[0].shape[0]
     pos = 0
     while pos < total:
-        until_cadence = config.update_every - trainer.steps_since_update
-        until_fill = need - len(trainer.replay)
-        take = min(total - pos, max(until_cadence, until_fill, 1))
+        take = _ingest_chunk_bounds(trainer, total, pos)
         end = pos + take
         trainer.experience_batch(
             [o[pos:end] for o in obs],
@@ -60,8 +73,37 @@ def _ingest_chunked(
     return total
 
 
+def _ingest_chunked_packed(trainer: MADDPGTrainer, rows: np.ndarray) -> int:
+    """Packed-row twin of :func:`_ingest_chunked` (same trigger points)."""
+    total = rows.shape[0]
+    pos = 0
+    while pos < total:
+        take = _ingest_chunk_bounds(trainer, total, pos)
+        end = pos + take
+        trainer.experience_packed(rows[pos:end])
+        trainer.update()
+        pos = end
+    return total
+
+
+def _use_packed_ingest(vec_env, trainer: MADDPGTrainer) -> bool:
+    """Whether the env->replay path can skip per-field splitting.
+
+    Requires: the env exposes packed joint-schema rows, the replay ring
+    is arena-backed with the *same* schema (so rows drop in verbatim),
+    storage is non-prioritized (PER needs the per-row tree bookkeeping of
+    the split path), and no layout reorganizer is attached.
+    """
+    if not hasattr(vec_env, "packed_transitions"):
+        return False
+    if trainer.layout is not None or trainer.replay.prioritized:
+        return False
+    arena = trainer.replay.arena
+    return arena is not None and arena.schema == trainer.replay.schema == vec_env.schema
+
+
 def collect_steps(
-    vec_env: SyncVectorEnv,
+    vec_env,
     trainer: MADDPGTrainer,
     steps: int,
     explore: bool = True,
@@ -69,26 +111,38 @@ def collect_steps(
 ) -> Dict[str, float]:
     """Advance all K copies ``steps`` times with batched action selection.
 
-    Returns collection statistics: transitions stored, update rounds
-    run, and the mean per-step reward across copies and agents.
+    Accepts any vector env with the ``SyncVectorEnv`` API; a
+    :class:`~repro.envs.parallel.ParallelVectorEnv` additionally gets its
+    worker-wait time attributed (``env_step.worker_wait``) and, with
+    timestep-major storage, the packed zero-copy ingest path.  Returns
+    collection statistics: transitions stored, update rounds run, and the
+    mean per-step reward across copies and agents.
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
+    if hasattr(vec_env, "attach_timer"):
+        vec_env.attach_timer(trainer.timer)
     obs = vec_env.reset()
     num_agents = vec_env.num_agents
     rewards_sum = 0.0
     updates_before = trainer.update_rounds
     stored = 0
+    packed = learn and _use_packed_ingest(vec_env, trainer)
     for _ in range(steps):
         # one batched forward per agent covers all K copies
-        with trainer.timer.phase("action_selection"):
+        with trainer.timer.phase(ACTION_SELECTION):
             actions: List[np.ndarray] = [
                 trainer.agents[a].act(obs[a], rng=trainer.rng, explore=explore)
                 for a in range(num_agents)
             ]
-        next_obs, rewards, dones, _infos = vec_env.step(actions)
+        with trainer.timer.phase(ENV_STEP):
+            next_obs, rewards, dones, _infos = vec_env.step(actions)
         rewards_sum += float(rewards.mean())
-        if learn:
+        if packed:
+            # workers already packed this step's K joint-schema rows into
+            # the shared transition block; ingest them verbatim
+            stored += _ingest_chunked_packed(trainer, vec_env.packed_transitions())
+        elif learn:
             # per-agent (K, .) stacks; `obs` is the pre-step observation
             # (post-reset on copies that terminated last step).  On
             # auto-reset steps the stacked next_obs is the post-reset

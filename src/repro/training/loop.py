@@ -6,6 +6,13 @@ action selection → environment step → experience storage → (every
 accumulated into the trainer's :class:`PhaseTimer`, so the returned
 :class:`RunResult` carries both learning curves and the paper's phase
 breakdowns.
+
+:func:`train_steps` is the execution-pipeline counterpart: it drives a
+vector env (serial or process-parallel) for a fixed number of vector
+steps with batched collection, optionally overlapping mini-batch
+assembly with update compute through a
+:class:`~repro.training.prefetch.PrefetchPipeline`.  With ``workers <= 1``
+and ``prefetch=False`` it is bit-identical to the serial batched path.
 """
 
 from __future__ import annotations
@@ -17,9 +24,19 @@ import numpy as np
 
 from ..algos.maddpg import MADDPGTrainer
 from ..envs.environment import MultiAgentEnv
+from ..profiling.phases import (
+    PREFETCH,
+    PREFETCH_HIT,
+    PREFETCH_MISS,
+    PREFETCH_STALE,
+    SAMPLING,
+    UPDATE_ALL_TRAINERS,
+)
+from .batched import collect_steps
+from .prefetch import PrefetchPipeline
 from .results import RunResult
 
-__all__ = ["train", "run_episode"]
+__all__ = ["train", "train_steps", "run_episode"]
 
 Callback = Callable[[int, RunResult], None]
 
@@ -98,4 +115,73 @@ def train(
     result.env_steps = trainer.total_env_steps
     if trainer.layout is not None:
         result.extra.update(trainer.layout.cost_summary())
+    return result
+
+
+def train_steps(
+    vec_env,
+    trainer: MADDPGTrainer,
+    steps: int,
+    variant: str = "pipeline",
+    env_name: str = "env",
+    explore: bool = True,
+    prefetch: bool = False,
+    prefetch_seed: Optional[int] = None,
+) -> RunResult:
+    """Train over a vector env for ``steps`` lock-step vector sweeps.
+
+    The overlapped actor-learner schedule: batched collection over K env
+    copies (serial or process-parallel — the env decides) interleaved
+    with update rounds at the paper's cadence; with ``prefetch=True``
+    the next round's mini-batches assemble on a background thread while
+    the current round computes (see
+    :class:`~repro.training.prefetch.PrefetchPipeline` for the validity
+    and PER epoch-guard semantics).
+
+    The returned :class:`RunResult` reports pipeline statistics in
+    ``extra``: transitions stored, steps/sec, prefetch hit/miss/stale
+    counts, the hidden-sampling seconds, and the measured
+    ``overlap_fraction`` — the share of sampling work that ran behind
+    update compute.
+    """
+    if steps <= 0:
+        raise ValueError(f"steps must be positive, got {steps}")
+    pipeline: Optional[PrefetchPipeline] = None
+    if prefetch:
+        pipeline = PrefetchPipeline(trainer, seed=prefetch_seed)
+        trainer.attach_prefetcher(pipeline)
+    start = time.perf_counter()
+    try:
+        stats = collect_steps(vec_env, trainer, steps, explore=explore, learn=True)
+    finally:
+        if pipeline is not None:
+            pipeline.close()
+            trainer.attach_prefetcher(None)
+    total_seconds = time.perf_counter() - start
+    result = RunResult(
+        algorithm=trainer.name,
+        variant=variant,
+        env_name=env_name,
+        num_agents=trainer.num_agents,
+        episodes=0,
+        total_seconds=total_seconds,
+        phase_totals=trainer.timer.totals(),
+        update_rounds=trainer.update_rounds,
+        env_steps=trainer.total_env_steps,
+    )
+    result.extra["transitions"] = stats["transitions"]
+    result.extra["mean_step_reward"] = stats["mean_step_reward"]
+    result.extra["steps_per_second"] = stats["transitions"] / max(total_seconds, 1e-12)
+    if pipeline is not None:
+        hidden = trainer.timer.total(PREFETCH_HIT)
+        visible = trainer.timer.total(f"{UPDATE_ALL_TRAINERS}.{SAMPLING}")
+        result.extra["prefetch_hits"] = float(pipeline.hits)
+        result.extra["prefetch_misses"] = float(pipeline.misses)
+        result.extra["prefetch_stale"] = float(pipeline.stale)
+        result.extra["prefetch_seconds"] = trainer.timer.total(PREFETCH)
+        result.extra["hidden_sampling_seconds"] = hidden
+        # share of this run's sampling work that ran behind update compute
+        result.extra["overlap_fraction"] = (
+            hidden / (hidden + visible) if hidden + visible > 0 else 0.0
+        )
     return result

@@ -1,0 +1,221 @@
+"""Background mini-batch prefetch for the overlapped actor-learner pipeline.
+
+The update round's first sub-phase — mini-batch sampling — is pure
+replay-buffer *reading*, so it can overlap the previous round's compute:
+:class:`PrefetchPipeline` assembles the *next* round's joint mini-batches
+on a background thread while the main thread (scalar loop or
+:class:`~repro.algos.batched_update.BatchedUpdateEngine`) crunches the
+current one.  At the next round, :meth:`take` either serves the
+assembled batches (``prefetch.hit`` — the accumulated seconds are
+sampling time hidden behind compute) or discards them:
+
+* ``prefetch.miss`` — nothing assembled (first round, assembly raced a
+  concurrent structure mutation, or assembly had not been scheduled);
+* ``prefetch.stale`` — assembled but invalidated underneath: the
+  trainer's *priority epoch* advanced (PER / info-prioritized write-back
+  or prioritized insert changed the sampling distribution — the epoch
+  guard), the ring overwrote slots the batch had sampled, or the batch
+  shape no longer matches the round.
+
+Correctness model (matches the ISSUE's contract):
+
+* Uniform and cache-locality-aware sampling never write priorities, so
+  the epoch never advances and prefetched rounds are *valid as-is* —
+  they are a legitimate sample from a replay state at most one
+  collection sweep old (the overwrite guard rejects the rare case where
+  the ring lapped the sampled slots).
+* PER and information-prioritized sampling bump the epoch every round
+  (priority write-back) and on every prioritized insert, so **every**
+  prefetched round is discarded as stale and the main thread re-draws
+  from its own RNG stream exactly as without prefetch — the training
+  trajectory is bit-identical to a non-prefetch PER run (property-
+  tested).
+
+The pipeline draws from its **own** RNG stream, never the trainer's, so
+scheduling/discarding assemblies perturbs nothing in the main stream.
+Buffer writers must call :meth:`wait_idle` before mutating the replay
+ring (the trainer's ``experience``/``experience_batch`` do) so assembly
+never reads a row mid-write.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..profiling.phases import PREFETCH, PREFETCH_HIT, PREFETCH_MISS, PREFETCH_STALE
+
+__all__ = ["PrefetchPipeline"]
+
+
+class PrefetchPipeline:
+    """One background assembly thread feeding a trainer's update rounds.
+
+    Parameters
+    ----------
+    trainer:
+        The :class:`~repro.algos.maddpg.MADDPGTrainer` whose sampler /
+        replay / config drive assembly.  Attach with
+        ``trainer.attach_prefetcher(pipeline)``.
+    seed:
+        Seed of the pipeline's private RNG stream.
+    """
+
+    def __init__(self, trainer, seed: Optional[int] = None) -> None:
+        self.trainer = trainer
+        self.rng = np.random.default_rng(seed)
+        self._cond = threading.Condition()
+        self._request: Optional[dict] = None  # scheduled, not yet picked up
+        self._busy = False  # worker currently assembling
+        self._ready: Optional[dict] = None  # assembled round awaiting take()
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self._thread = threading.Thread(
+            target=self._run, name="prefetch-pipeline", daemon=True
+        )
+        self._thread.start()
+
+    # -- main-thread API ------------------------------------------------------
+
+    def schedule(self) -> None:
+        """Snapshot the trainer's sampling intent and assemble in background.
+
+        Called at the *start* of an update round (after :meth:`take`), so
+        assembly overlaps the round's target-Q/loss compute.  A previous
+        unconsumed assembly is dropped.
+        """
+        t = self.trainer
+        request = {
+            "epoch": t.priority_epoch,
+            "env_steps": t.total_env_steps,
+            "next_idx": t.replay.buffers[0]._next_idx,
+            "batch_size": t.config.batch_size,
+            "draws": 1 if t.config.shared_batch else t.num_agents,
+        }
+        with self._cond:
+            if self._closed:
+                return
+            self._request = request
+            self._ready = None
+            self._cond.notify_all()
+
+    def take(self) -> Optional[List]:
+        """Claim the assembled round if it is still valid.
+
+        Returns the list of prefetched :class:`MiniBatch` objects (one
+        per draw) on a hit, else ``None`` — recording hit/miss/stale into
+        the trainer's timer either way.  Waits for an in-flight assembly
+        to finish first (collection's ``wait_idle`` barriers make that
+        wait effectively zero in the steady state).
+        """
+        t = self.trainer
+        with self._cond:
+            while self._request is not None or self._busy:
+                self._cond.wait()
+            ready = self._ready
+            self._ready = None
+        if ready is None:
+            self.misses += 1
+            t.timer.add(PREFETCH_MISS, 0.0)
+            return None
+        request, batches, seconds = ready["request"], ready["batches"], ready["seconds"]
+        if self._is_stale(request, batches):
+            self.stale += 1
+            t.timer.add(PREFETCH_STALE, 0.0)
+            return None
+        self.hits += 1
+        # the hit's accumulated seconds = assembly time hidden behind compute
+        t.timer.add(PREFETCH_HIT, seconds)
+        return batches
+
+    def _is_stale(self, request: dict, batches: List) -> bool:
+        t = self.trainer
+        if request["epoch"] != t.priority_epoch:
+            return True  # priorities changed underneath the draw (epoch guard)
+        if request["batch_size"] != t.config.batch_size:
+            return True
+        if len(batches) != (1 if t.config.shared_batch else t.num_agents):
+            return True
+        # ring-overwrite guard: rows written since assembly occupy slots
+        # (next_idx .. next_idx + written); a batch that sampled any of
+        # them holds data no longer in the buffer
+        written = t.total_env_steps - request["env_steps"]
+        if written <= 0:
+            return False
+        capacity = t.replay.capacity
+        if written >= capacity:
+            return True
+        overwritten = (request["next_idx"] + np.arange(written)) % capacity
+        return any(
+            bool(np.isin(batch.indices, overwritten).any()) for batch in batches
+        )
+
+    def wait_idle(self) -> None:
+        """Block until no assembly is scheduled or running.
+
+        Buffer writers call this before mutating the replay ring so the
+        background gather never observes a torn row.
+        """
+        with self._cond:
+            while self._request is not None or self._busy:
+                self._cond.wait()
+
+    def close(self) -> None:
+        """Stop the assembly thread (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._request = None
+            self._cond.notify_all()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "PrefetchPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- worker thread ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while self._request is None and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                request = self._request
+                self._request = None
+                self._busy = True
+                self._cond.notify_all()
+            result = None
+            start = time.perf_counter()
+            try:
+                with self.trainer.timer.phase(PREFETCH):
+                    batches = [
+                        self.trainer.sampler.sample(
+                            self.trainer.replay,
+                            self.rng,
+                            request["batch_size"],
+                            agent_idx=d,
+                        )
+                        for d in range(request["draws"])
+                    ]
+                result = {
+                    "request": request,
+                    "batches": batches,
+                    "seconds": time.perf_counter() - start,
+                }
+            except Exception:
+                # a racing structure mutation (e.g. PER tree write-back)
+                # invalidated the draw; surfaces as a miss, never an error
+                result = None
+            with self._cond:
+                self._busy = False
+                if not self._closed:
+                    self._ready = result
+                self._cond.notify_all()

@@ -1,0 +1,248 @@
+"""Process-parallel vector environment tests (PR 4 tentpole).
+
+The parallel collector must reproduce :class:`SyncVectorEnv`
+trajectories bit-for-bit under shared per-copy seeds (the determinism
+contract: fixed copy-index reduction order regardless of worker
+scheduling), surface worker deaths as clean :class:`WorkerCrashError`
+instead of hangs, honor the bounded-restart budget, and never leak
+shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.buffers.multi_agent import MultiAgentReplay
+from repro.envs.factory import (
+    ENV_WORKERS_VAR,
+    make_env_factories,
+    make_vector_env,
+    resolve_env_workers,
+)
+from repro.envs.parallel import SHM_PREFIX, ParallelVectorEnv, WorkerCrashError
+from repro.envs.vector import SyncVectorEnv
+
+ENV, N, K = "cooperative_navigation", 3, 5
+
+
+def soft_actions(vec, rng):
+    """Batched per-agent soft one-hot actions, shape (K, act_dim)."""
+    out = []
+    for a in range(vec.num_agents):
+        logits = rng.normal(size=(vec.num_envs, vec.act_dims[a]))
+        e = np.exp(logits - logits.max(axis=1, keepdims=True))
+        out.append(e / e.sum(axis=1, keepdims=True))
+    return out
+
+
+def rollout(vec, steps, seed=123):
+    rng = np.random.default_rng(seed)
+    vec.reset()
+    trace = []
+    for _ in range(steps):
+        obs, rew, done, _infos = vec.step(soft_actions(vec, rng))
+        trace.append(([np.array(o) for o in obs], rew.copy(), done.copy()))
+    return trace
+
+
+def leaked_segments():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_bit_identical_to_sync(self, workers):
+        """Same per-copy seeds => byte-equal obs/rewards/dones streams,
+        across auto-reset boundaries (short episodes force resets)."""
+        factories = make_env_factories(ENV, N, K, seed=7, max_episode_len=6)
+        sync = SyncVectorEnv(factories)
+        par = ParallelVectorEnv(factories, num_workers=workers)
+        try:
+            for (o0, r0, d0), (o1, r1, d1) in zip(
+                rollout(sync, 25), rollout(par, 25)
+            ):
+                for a in range(N):
+                    np.testing.assert_array_equal(o0[a], o1[a])
+                np.testing.assert_array_equal(r0, r1)
+                np.testing.assert_array_equal(d0, d1)
+        finally:
+            par.close()
+
+    def test_transition_views_match_stream(self):
+        """The shared transition block holds exactly the (pre-step obs,
+        action, reward, post-reset next obs, done) tuple the sync path
+        would store."""
+        factories = make_env_factories(ENV, N, K, seed=3, max_episode_len=4)
+        par = ParallelVectorEnv(factories, num_workers=2)
+        try:
+            rng = np.random.default_rng(0)
+            prev_obs = par.reset()
+            for _ in range(10):
+                actions = soft_actions(par, rng)
+                next_obs, rewards, dones, _ = par.step(actions)
+                views = par.transition_views()
+                for a in range(N):
+                    obs_v, act_v, rew_v, next_v, done_v = views[a]
+                    np.testing.assert_array_equal(obs_v, prev_obs[a])
+                    np.testing.assert_array_equal(act_v, actions[a])
+                    np.testing.assert_array_equal(rew_v, rewards[:, a])
+                    np.testing.assert_array_equal(next_v, next_obs[a])
+                    np.testing.assert_array_equal(done_v > 0.5, dones[:, a])
+                prev_obs = next_obs
+        finally:
+            par.close()
+
+    def test_packed_rows_ingest_like_field_writes(self):
+        """add_packed_batch(packed_transitions()) == add_batch(field views)
+        for both storage engines."""
+        factories = make_env_factories(ENV, N, K, seed=9)
+        par = ParallelVectorEnv(factories, num_workers=2)
+        try:
+            rng = np.random.default_rng(1)
+            par.reset()
+            packed = MultiAgentReplay(
+                par.obs_dims, par.act_dims, capacity=64, storage="timestep_major"
+            )
+            split = MultiAgentReplay(
+                par.obs_dims, par.act_dims, capacity=64, storage="agent_major"
+            )
+            for _ in range(6):
+                par.step(soft_actions(par, rng))
+                rows = par.packed_transitions()
+                packed.add_packed_batch(rows)
+                views = par.transition_views()
+                split.add_batch(
+                    [v[0] for v in views],
+                    [v[1] for v in views],
+                    [v[2] for v in views],
+                    [v[3] for v in views],
+                    [v[4] for v in views],
+                )
+            assert len(packed) == len(split) == 6 * K
+            for a in range(N):
+                pb, sb = packed.buffers[a], split.buffers[a]
+                size = len(pb)
+                np.testing.assert_array_equal(pb._obs[:size], sb._obs[:size])
+                np.testing.assert_array_equal(pb._act[:size], sb._act[:size])
+                np.testing.assert_array_equal(pb._rew[:size], sb._rew[:size])
+                np.testing.assert_array_equal(pb._next_obs[:size], sb._next_obs[:size])
+                np.testing.assert_array_equal(pb._done[:size], sb._done[:size])
+        finally:
+            par.close()
+
+
+class TestFaultHandling:
+    def test_killed_worker_raises_crash_error(self):
+        """SIGKILLing a worker surfaces WorkerCrashError (id + last step),
+        never a hang."""
+        par = ParallelVectorEnv(
+            make_env_factories(ENV, N, K, seed=0), num_workers=2, step_timeout=20.0
+        )
+        try:
+            rng = np.random.default_rng(0)
+            par.reset()
+            par.step(soft_actions(par, rng))
+            os.kill(par._procs[0].pid, signal.SIGKILL)
+            par._procs[0].join(timeout=5.0)
+            with pytest.raises(WorkerCrashError) as exc_info:
+                par.step(soft_actions(par, rng))
+            assert exc_info.value.worker_id == 0
+            assert exc_info.value.last_step == 1
+        finally:
+            par.close()
+        assert not leaked_segments()
+
+    def test_bounded_restart_recovers(self):
+        """With max_restarts budget, a crash respawns the worker, reports
+        a truncating terminal on its copies, and collection continues."""
+        par = ParallelVectorEnv(
+            make_env_factories(ENV, N, K, seed=0),
+            num_workers=2,
+            max_restarts=1,
+            step_timeout=20.0,
+        )
+        try:
+            rng = np.random.default_rng(0)
+            par.reset()
+            par.step(soft_actions(par, rng))
+            victim = par._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            obs, rewards, dones, infos = par.step(soft_actions(par, rng))
+            assert par.restarts == 1
+            start, stop = par._worker_rows[1]
+            for k in range(start, stop):
+                assert infos[k] == {"restarted_worker": 1}
+                assert dones[k].all()
+                assert (rewards[k] == 0.0).all()
+            for k in range(0, start):  # surviving worker's copies unaffected
+                assert "restarted_worker" not in infos[k]
+            # budget exhausted: the next crash surfaces
+            os.kill(par._procs[1].pid, signal.SIGKILL)
+            par._procs[1].join(timeout=5.0)
+            with pytest.raises(WorkerCrashError):
+                par.step(soft_actions(par, rng))
+        finally:
+            par.close()
+        assert not leaked_segments()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        par = ParallelVectorEnv(make_env_factories(ENV, N, 2, seed=0), num_workers=2)
+        name = par.shm_name
+        assert os.path.exists(f"/dev/shm/{name}")
+        par.close()
+        par.close()
+        assert par.shm_name is None
+        assert not os.path.exists(f"/dev/shm/{name}")
+        with pytest.raises(RuntimeError):
+            par.reset()
+
+
+class TestFactory:
+    def test_engine_selection(self):
+        sync = make_vector_env(ENV, N, 3, seed=0, workers=0)
+        assert isinstance(sync, SyncVectorEnv)
+        one = make_vector_env(ENV, N, 3, seed=0, workers=1)
+        assert isinstance(one, SyncVectorEnv)
+        par = make_vector_env(ENV, N, 3, seed=0, workers=2)
+        try:
+            assert isinstance(par, ParallelVectorEnv)
+            assert par.num_workers == 2
+        finally:
+            par.close()
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS_VAR, "2")
+        assert resolve_env_workers(None) == 2
+        assert resolve_env_workers(0) == 0  # explicit wins
+        vec = make_vector_env(ENV, N, 2, seed=0)
+        try:
+            assert isinstance(vec, ParallelVectorEnv)
+        finally:
+            vec.close()
+        monkeypatch.setenv(ENV_WORKERS_VAR, "bogus")
+        with pytest.raises(ValueError):
+            resolve_env_workers(None)
+
+    def test_seeded_factories_decorrelate_copies(self):
+        factories = make_env_factories(ENV, N, 3, seed=5)
+        first = [f().reset() for f in factories]
+        again = [f().reset() for f in factories]
+        for a, b in zip(first, again):  # same seed -> same episode
+            for x, y in zip(a, b):
+                np.testing.assert_array_equal(x, y)
+        assert not all(
+            np.array_equal(x, y) for x, y in zip(first[0], first[1])
+        )  # different copies differ
+
+    def test_workers_clamped_to_copies(self):
+        par = ParallelVectorEnv(make_env_factories(ENV, N, 2, seed=0), num_workers=8)
+        try:
+            assert par.num_workers == 2
+        finally:
+            par.close()

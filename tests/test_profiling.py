@@ -1,5 +1,6 @@
 """Tests for phase timers and paper-style breakdowns."""
 
+import threading
 import time
 
 import pytest
@@ -103,6 +104,103 @@ class TestPhaseTimer:
         timer.add("x", 1.0)
         timer.reset()
         assert timer.phases() == []
+
+
+class TestThreadSafety:
+    """The execution pipeline shares one timer between the main loop and
+    the prefetch thread; stacks are per-thread, totals merge under a lock."""
+
+    def test_concurrent_phases_merge_into_shared_totals(self):
+        timer = PhaseTimer()
+        rounds, workers = 50, 4
+        barrier = threading.Barrier(workers)
+
+        def hammer(name):
+            barrier.wait()
+            for _ in range(rounds):
+                with timer.phase(name):
+                    pass
+                timer.add("shared", 0.001)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{i}",)) for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(workers):
+            assert timer.count(f"t{i}") == rounds
+        assert timer.count("shared") == workers * rounds
+        assert timer.total("shared") == pytest.approx(workers * rounds * 0.001)
+
+    def test_per_thread_nesting_stacks_are_independent(self):
+        """A phase opened on a background thread starts its own root: it
+        must NOT nest under whatever the main thread has open."""
+        timer = PhaseTimer()
+        started = threading.Event()
+        release = threading.Event()
+
+        def background():
+            with timer.phase("prefetch"):
+                with timer.phase("assembly"):
+                    started.set()
+                    release.wait(timeout=5.0)
+
+        worker = threading.Thread(target=background)
+        with timer.phase("update_loop"):
+            worker.start()
+            assert started.wait(timeout=5.0)
+            with timer.phase("sampling"):
+                pass
+            release.set()
+            worker.join()
+        keys = set(timer.phases())
+        assert "update_loop.sampling" in keys
+        assert "prefetch.assembly" in keys
+        # no cross-thread contamination of either stack
+        assert "update_loop.prefetch" not in keys
+        assert "prefetch.sampling" not in keys
+
+    def test_reset_raises_while_phase_active_on_another_thread(self):
+        timer = PhaseTimer()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with timer.phase("held"):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        worker = threading.Thread(target=hold)
+        worker.start()
+        assert entered.wait(timeout=5.0)
+        try:
+            with pytest.raises(RuntimeError, match="active"):
+                timer.reset()
+        finally:
+            release.set()
+            worker.join()
+        timer.reset()  # fine once the phase closed
+        assert timer.phases() == []
+
+    def test_merge_from_worker_timer(self):
+        """A detached worker can accumulate into its own timer and fold
+        the result back into the trainer's afterwards."""
+        main, worker = PhaseTimer(), PhaseTimer()
+        main.add("env_step", 1.0, count=2)
+
+        def run():
+            for _ in range(3):
+                with worker.phase("env_step"):
+                    pass
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join()
+        main.merge(worker)
+        assert main.count("env_step") == 5
+        assert main.total("env_step") >= 1.0
 
 
 class TestPhaseNames:
