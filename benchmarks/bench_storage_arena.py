@@ -68,7 +68,7 @@ def _time_assembly(replay, indices_per_round, scalar: bool, repeats: int = 3):
         start = time.perf_counter()
         for indices in indices_per_round:
             for _agent in range(replay.num_agents):
-                replay.gather_all(indices, vectorized=not scalar)
+                replay.gather(indices, vectorized=not scalar)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return best
@@ -94,8 +94,8 @@ def _check_equivalence(num_agents: int = 3, batch: int = 64, rows: int = 256):
     """Both engines must serve byte-identical batches for shared indices."""
     replays = _make_pair(num_agents, rows, seed=5)
     idx = np.random.default_rng(2).integers(0, rows, size=batch)
-    am = replays["agent_major"].gather_all(idx, vectorized=True)
-    tm = replays["timestep_major"].gather_all(idx, vectorized=True)
+    am = replays["agent_major"].gather(idx, vectorized=True)
+    tm = replays["timestep_major"].gather(idx, vectorized=True)
     for fields_a, fields_t in zip(am, tm):
         for a, t in zip(fields_a, fields_t):
             if np.ascontiguousarray(a).tobytes() != np.ascontiguousarray(t).tobytes():

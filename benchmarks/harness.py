@@ -1,0 +1,40 @@
+"""Unified bench-harness runner (thin shim over :mod:`repro.bench`).
+
+The declarative registry — every ``bench_*.py`` behind a
+:class:`~repro.bench.BenchSpec` (name, suite, kind, time budget,
+headline metrics with per-metric compare tolerances) — lives in
+``src/repro/bench.py`` so ``python -m repro bench`` works anywhere the
+package imports.  This script is the benchmarks-directory entry point:
+
+    python benchmarks/harness.py --suite smoke
+    python benchmarks/harness.py --suite smoke --compare benchmarks/baselines/BENCH_smoke.json
+    python benchmarks/harness.py --list
+
+Reports are schema-versioned ``BENCH_<suite>.json`` files written at the
+repo root; ``--compare`` exits nonzero on any gated-metric regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import main as bench_main  # noqa: E402
+
+
+def _parse(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite", choices=["smoke", "ci", "exhibit", "all"], default="smoke"
+    )
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--compare", default=None, metavar="BASELINE")
+    parser.add_argument("--list", action="store_true")
+    return parser.parse_args(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(bench_main(_parse()))

@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..buffers.multi_agent import MultiAgentReplay
+from ..buffers import make_replay
 from ..core.batch import MiniBatch
 from ..core.importance import BetaSchedule
 from ..core.layout import LayoutReorganizer
@@ -36,6 +36,7 @@ from ..profiling.phases import (
     UPDATE_ALL_TRAINERS,
 )
 from ..profiling.timers import PhaseTimer
+from ..telemetry import NULL_RECORDER
 from .agent import ActorCriticAgent
 from .batched_update import BatchedUpdateEngine
 from .config import MARLConfig
@@ -124,12 +125,11 @@ class MADDPGTrainer:
         self.storage = (
             storage if storage is not None else self.config.storage
         )
-        self.replay = MultiAgentReplay(
-            obs_dims,
-            act_dims,
-            capacity=self.config.buffer_capacity,
+        self.replay = make_replay(
+            self.config,
+            obs_dims=obs_dims,
+            act_dims=act_dims,
             prioritized=prioritized,
-            alpha=self.config.per_alpha,
             storage=self.storage,
         )
         self.storage = self.replay.storage  # resolved engine name
@@ -152,6 +152,7 @@ class MADDPGTrainer:
             beta0=self.config.per_beta0, total_steps=self.config.per_beta_steps
         )
         self.timer = PhaseTimer()
+        self.telemetry = NULL_RECORDER
         if self.replay.arena is not None:
             # attribute joint-row gather vs per-agent split inside the
             # sampling phase breakdowns
@@ -239,7 +240,7 @@ class MADDPGTrainer:
         if self._prefetcher is not None:
             self._prefetcher.wait_idle()
         with self.timer.phase(BUFFER_WRITE):
-            rows = self.replay.add_batch(obs, act, rew, next_obs, done)
+            rows = self.replay.ingest((obs, act, rew, next_obs, done))
             if self.layout is not None:
                 # the packed store ingests row-wise; K is small (one
                 # vector-env sweep), the replay write above is the hot part
@@ -276,12 +277,25 @@ class MADDPGTrainer:
         if self._prefetcher is not None:
             self._prefetcher.wait_idle()
         with self.timer.phase(BUFFER_WRITE):
-            rows_written = self.replay.add_packed_batch(rows)
+            rows_written = self.replay.ingest(packed_rows=rows)
         if self.replay.prioritized:
             self.priority_epoch += 1
         self.steps_since_update += rows_written
         self.total_env_steps += rows_written
         return rows_written
+
+    def attach_telemetry(self, recorder) -> None:
+        """Stream this trainer's instrumentation as typed telemetry records.
+
+        Every :class:`PhaseTimer` phase becomes a
+        :class:`~repro.telemetry.records.SpanEvent` and every externally
+        measured duration (prefetch hit/stale accounting, worker waits)
+        a :class:`~repro.telemetry.records.CounterSample` in
+        ``recorder``'s sink.  Pass ``None`` (or a disabled recorder) to
+        detach; the disabled path costs one attribute check per phase.
+        """
+        self.telemetry = recorder if recorder is not None else NULL_RECORDER
+        self.timer.attach_telemetry(recorder)
 
     def attach_prefetcher(self, prefetcher) -> None:
         """Serve update rounds from a background :class:`PrefetchPipeline`.

@@ -57,11 +57,16 @@ VARIANTS = (
 def make_sampler(
     variant: str,
     batch_size: int,
+    *,
     beta: float = 0.4,
     fast_path: bool = False,
     storage: Optional[str] = None,
 ) -> Optional[Sampler]:
     """Sampler for a variant name; None for layout variants (store-served).
+
+    Option flags (``beta``, ``fast_path``, ``storage``) are
+    keyword-only, so call sites always spell out which engine knob they
+    are turning.
 
     ``fast_path=True`` builds the variant's sampler on the vectorized
     sampling engine (observably equivalent draws, batched execution);
@@ -126,13 +131,15 @@ def build_trainer(
     obs_dims: Sequence[int],
     act_dims: Sequence[int],
     config: Optional[MARLConfig] = None,
+    *,
     seed: Optional[int] = None,
     storage: Optional[str] = None,
 ) -> MADDPGTrainer:
     """Construct an algorithm x variant trainer on explicit dimensions.
 
-    ``storage`` overrides ``config.storage`` (and the ``REPRO_STORAGE``
-    environment fallback) to pick the replay storage engine.
+    ``seed`` and ``storage`` are keyword-only option flags.  ``storage``
+    overrides ``config.storage`` (and the ``REPRO_STORAGE`` environment
+    fallback) to pick the replay storage engine.
     """
     try:
         trainer_cls = ALGORITHMS[algorithm]

@@ -1,0 +1,674 @@
+"""Unified benchmark harness: declarative specs over every exhibit.
+
+The repo accumulated one ``benchmarks/bench_*.py`` per paper exhibit,
+each with its own entry point (four expose ``--smoke`` CLI modes, the
+rest are pytest exhibits).  This module registers all of them — plus a
+set of fast inline smoke runners — behind one declarative registry, so
+
+    python -m repro bench --suite smoke
+
+runs a suite, writes a schema-versioned ``BENCH_<suite>.json`` report
+(git SHA, platform fingerprint, per-bench metrics), and
+
+    python -m repro bench --suite smoke --compare benchmarks/baselines/BENCH_smoke.json
+
+gates each metric against a baseline with per-metric tolerances,
+exiting nonzero on regression.  Correctness metrics (bit-identical
+equivalence flags) gate exactly; timing ratios gate with generous
+tolerances so the job stays stable across hosts; raw seconds are
+recorded but never gated.
+
+Suites
+------
+``smoke``    inline runners only — seconds of wall clock, no subprocesses
+``ci``       smoke + the four ``--smoke``-capable bench scripts
+``exhibit``  the pytest exhibit benches (minutes; regenerates figures)
+``all``      everything
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .telemetry.records import TELEMETRY_SCHEMA_VERSION, git_sha, platform_fingerprint
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchSpec",
+    "MetricSpec",
+    "BenchResult",
+    "REGISTRY",
+    "suites",
+    "select",
+    "run_suite",
+    "write_report",
+    "load_report",
+    "compare_reports",
+    "main",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_BENCH_DIR = _REPO_ROOT / "benchmarks"
+
+
+# ---------------------------------------------------------------------------
+# declarative specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One headline metric a bench reports.
+
+    ``direction`` says which way is better (``higher`` / ``lower``);
+    ``tolerance`` is the allowed relative regression vs the baseline
+    (0.0 = exact); ``gate`` controls whether ``--compare`` fails on it.
+    """
+
+    name: str
+    unit: str = ""
+    direction: str = "higher"
+    tolerance: float = 0.0
+    gate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ValueError(f"direction must be higher|lower, got {self.direction!r}")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark.
+
+    ``kind`` is how it runs: ``inline`` (a fast callable in this module),
+    ``script`` (``python benchmarks/<file> --smoke`` subprocess), or
+    ``pytest`` (full exhibit via pytest).  ``budget_seconds`` is the
+    declared time budget — enforced as a subprocess timeout for
+    script/pytest kinds, advisory for inline ones.
+    """
+
+    name: str
+    suite: str
+    kind: str
+    description: str
+    budget_seconds: float
+    metrics: Tuple[MetricSpec, ...] = ()
+    runner: Optional[Callable[[], Dict[str, float]]] = None
+    file: Optional[str] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def headline(self) -> Optional[str]:
+        """Name of the first gated metric (the spec's headline), if any."""
+        for metric in self.metrics:
+            if metric.gate:
+                return metric.name
+        return self.metrics[0].name if self.metrics else None
+
+
+@dataclass
+class BenchResult:
+    """Measured outcome of one spec."""
+
+    name: str
+    seconds: float
+    metrics: Dict[str, float]
+    ok: bool = True
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bench": self.name,
+            "seconds": self.seconds,
+            "ok": self.ok,
+            "error": self.error,
+            "metrics": dict(self.metrics),
+        }
+
+
+# ---------------------------------------------------------------------------
+# inline smoke runners — seconds each, deterministic headline flags
+# ---------------------------------------------------------------------------
+
+
+def _smoke_geometry():
+    """Shared small geometry for the inline runners."""
+    from .experiments.counters_study import env_obs_dims
+
+    agents = 3
+    obs_dims = env_obs_dims("predator_prey", agents)
+    act_dims = [5] * agents
+    return agents, obs_dims, act_dims
+
+
+def _run_sampling_fastpath() -> Dict[str, float]:
+    """Scalar vs vectorized sampling: speedups + draw equivalence."""
+    from .buffers import MultiAgentReplay
+    from .core import InformationPrioritizedSampler, UniformSampler
+    from .experiments.microbench import fill_replay, time_sampler_round
+
+    _, obs_dims, act_dims = _smoke_geometry()
+    rows, batch, rounds = 2048, 256, 3
+    replay = MultiAgentReplay(obs_dims, act_dims, capacity=rows)
+    fill_replay(replay, np.random.default_rng(0), rows)
+    preplay = MultiAgentReplay(obs_dims, act_dims, capacity=rows, prioritized=True)
+    fill_replay(preplay, np.random.default_rng(0), rows)
+    rng = np.random.default_rng(1)
+    for i in range(len(act_dims)):
+        preplay.priority_buffer(i).update_priorities(
+            range(rows), rng.uniform(0.01, 5.0, rows)
+        )
+    out: Dict[str, float] = {}
+    equivalent = 1.0
+    for key, factory, target in (
+        ("uniform", lambda f: UniformSampler(fast_path=f), replay),
+        ("info_prioritized", lambda f: InformationPrioritizedSampler(fast_path=f), preplay),
+    ):
+        slow = time_sampler_round(
+            factory(False), target, np.random.default_rng(2), batch, rounds=rounds
+        )
+        fast = time_sampler_round(
+            factory(True), target, np.random.default_rng(2), batch, rounds=rounds
+        )
+        out[f"{key}_speedup"] = slow.seconds / max(fast.seconds, 1e-12)
+        a = factory(False).sample(target, np.random.default_rng(3), batch)
+        b = factory(True).sample(target, np.random.default_rng(3), batch)
+        if not np.array_equal(a.indices, b.indices):
+            equivalent = 0.0
+    out["equivalent"] = equivalent
+    return out
+
+
+def _run_batched_update() -> Dict[str, float]:
+    """Per-agent loop vs stacked-agent engine: bit-identical params."""
+    from .algos.config import MARLConfig
+    from .algos.variants import build_trainer
+    from .experiments.microbench import fill_replay
+
+    _, obs_dims, act_dims = _smoke_geometry()
+    results = {}
+    for batched in (False, True):
+        config = MARLConfig(
+            batch_size=128, buffer_capacity=1024, update_every=50,
+            batched_update=batched,
+        )
+        trainer = build_trainer(
+            "maddpg", "baseline", obs_dims, act_dims, config=config, seed=0
+        )
+        fill_replay(trainer.replay, np.random.default_rng(0), 512)
+        start = time.perf_counter()
+        for _ in range(3):
+            trainer.update(force=True)
+        results[batched] = (time.perf_counter() - start, trainer)
+    loop_s, loop_tr = results[False]
+    fast_s, fast_tr = results[True]
+    # the engine contract (tests/test_batched_update.py) is numerical
+    # equivalence at rtol=1e-10/atol=1e-12, not bitwise identity
+    equivalent = 1.0
+    for a, b in zip(loop_tr.agents, fast_tr.agents):
+        for pa, pb in zip(a.actor.parameters(), b.actor.parameters()):
+            if not np.allclose(pa.value, pb.value, rtol=1e-10, atol=1e-12):
+                equivalent = 0.0
+    return {
+        "bit_identical": equivalent,
+        "batched_speedup": loop_s / max(fast_s, 1e-12),
+    }
+
+
+def _run_storage_arena() -> Dict[str, float]:
+    """Agent-major vs timestep-major gather: equivalence + speedup."""
+    from .buffers import MultiAgentReplay
+    from .experiments.microbench import fill_replay
+
+    _, obs_dims, act_dims = _smoke_geometry()
+    rows, batch, rounds = 2048, 256, 5
+    replays = {}
+    for storage in ("agent_major", "timestep_major"):
+        replay = MultiAgentReplay(obs_dims, act_dims, capacity=rows, storage=storage)
+        fill_replay(replay, np.random.default_rng(0), rows)
+        replays[storage] = replay
+    indices = np.random.default_rng(1).integers(0, rows, size=batch)
+    timings = {}
+    for storage, replay in replays.items():
+        start = time.perf_counter()
+        for _ in range(rounds):
+            replay.gather(indices, vectorized=True)
+        timings[storage] = time.perf_counter() - start
+    base = replays["agent_major"].gather(indices, vectorized=True)
+    arena = replays["timestep_major"].gather(indices, vectorized=True)
+    equivalent = 1.0
+    for fields_a, fields_b in zip(base, arena):
+        for col_a, col_b in zip(fields_a, fields_b):
+            if not np.array_equal(col_a, col_b):
+                equivalent = 0.0
+    return {
+        "equivalent": equivalent,
+        "gather_speedup": timings["agent_major"] / max(timings["timestep_major"], 1e-12),
+    }
+
+
+def _run_replay_ingest() -> Dict[str, float]:
+    """Unified ingest: batch vs packed rows land identical contents."""
+    from .buffers import make_replay
+    from .buffers.transition import JointSchema
+
+    _, obs_dims, act_dims = _smoke_geometry()
+    rows = 1024
+    schema = JointSchema.from_dims(obs_dims, act_dims)
+    rng = np.random.default_rng(0)
+    packed = rng.standard_normal((rows, schema.width))
+    obs, act, rew, next_obs, done = [], [], [], [], []
+    for a, (start, _end) in enumerate(schema.agent_offsets()):
+        s = schema.agents[a].slices()
+        obs.append(packed[:, start + s["obs"].start : start + s["obs"].stop])
+        act.append(packed[:, start + s["act"].start : start + s["act"].stop])
+        rew.append(packed[:, start + s["rew"].start])
+        next_obs.append(
+            packed[:, start + s["next_obs"].start : start + s["next_obs"].stop]
+        )
+        done.append(packed[:, start + s["done"].start])
+    via_batch = make_replay(
+        obs_dims=obs_dims, act_dims=act_dims, capacity=rows, storage="timestep_major"
+    )
+    start = time.perf_counter()
+    via_batch.ingest((obs, act, rew, next_obs, done))
+    batch_s = time.perf_counter() - start
+    via_packed = make_replay(
+        obs_dims=obs_dims, act_dims=act_dims, capacity=rows, storage="timestep_major"
+    )
+    start = time.perf_counter()
+    via_packed.ingest(packed_rows=packed)
+    packed_s = time.perf_counter() - start
+    equivalent = float(
+        np.array_equal(via_batch.arena.values, via_packed.arena.values)
+    )
+    return {
+        "packed_equivalent": equivalent,
+        "packed_speedup": batch_s / max(packed_s, 1e-12),
+        "ingest_rows_per_second": rows / max(packed_s, 1e-12),
+    }
+
+
+def _run_telemetry_overhead() -> Dict[str, float]:
+    """Disabled recorder must cost ~nothing on the phase hot path."""
+    from .profiling.timers import PhaseTimer
+    from .telemetry import NULL_RECORDER, memory_recorder
+
+    iters = 20_000
+
+    def loop(timer: PhaseTimer) -> float:
+        start = time.perf_counter()
+        for _ in range(iters):
+            with timer.phase("smoke"):
+                pass
+        return time.perf_counter() - start
+
+    bare = PhaseTimer()
+    bare_s = min(loop(bare) for _ in range(3))
+    disabled = PhaseTimer()
+    disabled.attach_telemetry(NULL_RECORDER)
+    disabled_s = min(loop(disabled) for _ in range(3))
+    recorder = memory_recorder()
+    enabled = PhaseTimer()
+    enabled.attach_telemetry(recorder)
+    enabled_s = min(loop(enabled) for _ in range(3))
+    emitted = len(recorder.sink.of_kind("span"))
+    return {
+        "disabled_overhead_ratio": disabled_s / max(bare_s, 1e-12),
+        "enabled_overhead_ratio": enabled_s / max(bare_s, 1e-12),
+        "spans_emitted_ok": float(emitted == 3 * iters),
+    }
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def _gate_eq(name: str) -> MetricSpec:
+    """Equivalence flag: deterministic, gates exactly."""
+    return MetricSpec(name, unit="bool", direction="higher", tolerance=0.0, gate=True)
+
+
+def _gate_ratio(name: str, tolerance: float = 0.8) -> MetricSpec:
+    """Timing ratio: gated, but with host-noise headroom."""
+    return MetricSpec(name, unit="x", direction="higher", tolerance=tolerance, gate=True)
+
+
+def _free(name: str, unit: str = "", direction: str = "higher") -> MetricSpec:
+    return MetricSpec(name, unit=unit, direction=direction, gate=False)
+
+
+def _script_spec(file: str, description: str, budget: float = 120.0) -> BenchSpec:
+    # "cli_" prefix keeps script specs distinct from the inline smoke
+    # runners that cover the same subsystem (e.g. batched_update)
+    name = "cli_" + file[len("bench_"):-len(".py")]
+    return BenchSpec(
+        name=name,
+        suite="ci",
+        kind="script",
+        description=description,
+        budget_seconds=budget,
+        file=file,
+        metrics=(_gate_eq("exit_ok"), _free("seconds", "s", "lower")),
+        params={"args": ["--smoke"]},
+    )
+
+
+def _pytest_spec(file: str, description: str, budget: float = 600.0) -> BenchSpec:
+    name = file[len("bench_"):-len(".py")]
+    return BenchSpec(
+        name=name,
+        suite="exhibit",
+        kind="pytest",
+        description=description,
+        budget_seconds=budget,
+        file=file,
+        metrics=(_gate_eq("exit_ok"), _free("seconds", "s", "lower")),
+    )
+
+
+REGISTRY: Tuple[BenchSpec, ...] = (
+    # -- inline smoke runners (suite: smoke) -------------------------------
+    BenchSpec(
+        name="sampling_fastpath",
+        suite="smoke",
+        kind="inline",
+        description="scalar vs vectorized sampling engines: speedup + identical draws",
+        budget_seconds=20.0,
+        runner=_run_sampling_fastpath,
+        metrics=(
+            _gate_eq("equivalent"),
+            _gate_ratio("info_prioritized_speedup"),
+            _free("uniform_speedup", "x"),
+        ),
+    ),
+    BenchSpec(
+        name="batched_update",
+        suite="smoke",
+        kind="inline",
+        description="per-agent loop vs stacked-agent update engine: bit-identical params",
+        budget_seconds=30.0,
+        runner=_run_batched_update,
+        metrics=(_gate_eq("bit_identical"), _free("batched_speedup", "x")),
+    ),
+    BenchSpec(
+        name="storage_arena",
+        suite="smoke",
+        kind="inline",
+        description="agent-major vs timestep-major joint gather: equivalence + speedup",
+        budget_seconds=20.0,
+        runner=_run_storage_arena,
+        metrics=(_gate_eq("equivalent"), _free("gather_speedup", "x")),
+    ),
+    BenchSpec(
+        name="replay_ingest",
+        suite="smoke",
+        kind="inline",
+        description="unified ingest(): per-agent batch vs packed rows, identical arena",
+        budget_seconds=10.0,
+        runner=_run_replay_ingest,
+        metrics=(
+            _gate_eq("packed_equivalent"),
+            _free("packed_speedup", "x"),
+            _free("ingest_rows_per_second", "rows/s"),
+        ),
+    ),
+    BenchSpec(
+        name="telemetry_overhead",
+        suite="smoke",
+        kind="inline",
+        description="phase hot path with no/disabled/enabled telemetry recorder",
+        budget_seconds=15.0,
+        runner=_run_telemetry_overhead,
+        metrics=(
+            _gate_eq("spans_emitted_ok"),
+            MetricSpec(
+                "disabled_overhead_ratio", unit="x", direction="lower",
+                tolerance=1.0, gate=True,
+            ),
+            _free("enabled_overhead_ratio", "x", "lower"),
+        ),
+    ),
+    # -- --smoke-capable bench scripts (suite: ci) -------------------------
+    _script_spec("bench_fastpath_sampling.py", "fast-path sampling exhibit, smoke geometry"),
+    _script_spec("bench_batched_update.py", "stacked-agent update exhibit, smoke geometry"),
+    _script_spec("bench_storage_arena.py", "storage engine exhibit, smoke geometry"),
+    _script_spec("bench_pipeline_overlap.py", "actor-learner overlap exhibit, smoke geometry"),
+    # -- pytest exhibit benches (suite: exhibit) ---------------------------
+    _pytest_spec("bench_fig2_e2e_breakdown.py", "Figure 2: end-to-end phase breakdown"),
+    _pytest_spec("bench_fig3_update_breakdown.py", "Figure 3: update-phase breakdown"),
+    _pytest_spec("bench_fig4_hw_counters.py", "Figure 4: hardware-counter proxies"),
+    _pytest_spec("bench_fig6_scalability.py", "Figure 6: agent-count scalability"),
+    _pytest_spec("bench_fig8_sampling_reduction.py", "Figure 8: sampling-time reduction"),
+    _pytest_spec("bench_fig9_e2e_reduction.py", "Figure 9: end-to-end reduction"),
+    _pytest_spec("bench_fig10_reward_curves.py", "Figure 10: reward-curve parity"),
+    _pytest_spec("bench_fig11_ip_reward_curves.py", "Figure 11: info-prioritized rewards"),
+    _pytest_spec("bench_fig12_13_cross_platform.py", "Figures 12-13: cross-platform"),
+    _pytest_spec("bench_fig14_layout_reorg.py", "Figure 14: layout reorganization"),
+    _pytest_spec("bench_table1_training_time.py", "Table 1: training-time grid"),
+    _pytest_spec("bench_ablation_gather.py", "ablation: gather strategies"),
+    _pytest_spec("bench_ablation_layout_ingest.py", "ablation: layout ingest cost"),
+    _pytest_spec("bench_ablation_memsim_sensitivity.py", "ablation: memsim sensitivity"),
+    _pytest_spec("bench_ablation_neighbor_tradeoff.py", "ablation: cache-aware neighbors"),
+    _pytest_spec("bench_ablation_predictor.py", "ablation: reuse predictor"),
+    _pytest_spec("bench_ext_complexity_fit.py", "extension: complexity fit"),
+    _pytest_spec("bench_ext_reuse_multiseed.py", "extension: multi-seed reuse"),
+    _pytest_spec("bench_ext_vectorized_env.py", "extension: vectorized env"),
+)
+
+_SUITE_EXPANSION = {
+    "smoke": ("smoke",),
+    "ci": ("smoke", "ci"),
+    "exhibit": ("exhibit",),
+    "all": ("smoke", "ci", "exhibit"),
+}
+
+
+def suites() -> List[str]:
+    return sorted(_SUITE_EXPANSION)
+
+
+def select(suite: str) -> List[BenchSpec]:
+    """Specs belonging to a suite (``ci`` includes ``smoke``; ``all`` everything)."""
+    if suite not in _SUITE_EXPANSION:
+        raise ValueError(f"unknown suite {suite!r}; choose from {suites()}")
+    members = _SUITE_EXPANSION[suite]
+    return [spec for spec in REGISTRY if spec.suite in members]
+
+
+def spec_by_name(name: str) -> BenchSpec:
+    for spec in REGISTRY:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no bench named {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def _run_subprocess(cmd: Sequence[str], budget: float) -> Tuple[float, bool, str]:
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            list(cmd), cwd=str(_REPO_ROOT), timeout=budget,
+            capture_output=True, text=True,
+        )
+        ok = proc.returncode == 0
+        error = "" if ok else (proc.stderr.strip()[-500:] or f"exit {proc.returncode}")
+    except subprocess.TimeoutExpired:
+        ok, error = False, f"timeout after {budget:.0f}s"
+    return time.perf_counter() - start, ok, error
+
+
+def run_spec(spec: BenchSpec) -> BenchResult:
+    """Execute one spec and normalize its outcome."""
+    if spec.kind == "inline":
+        start = time.perf_counter()
+        try:
+            metrics = dict(spec.runner())
+            ok, error = True, ""
+        except Exception as exc:  # the report carries the failure, compare gates it
+            metrics, ok, error = {}, False, f"{type(exc).__name__}: {exc}"
+        seconds = time.perf_counter() - start
+    elif spec.kind == "script":
+        args = list(spec.params.get("args", []))
+        seconds, ok, error = _run_subprocess(
+            [sys.executable, str(_BENCH_DIR / spec.file), *args], spec.budget_seconds
+        )
+        metrics = {"exit_ok": float(ok), "seconds": seconds}
+    elif spec.kind == "pytest":
+        seconds, ok, error = _run_subprocess(
+            [sys.executable, "-m", "pytest", str(_BENCH_DIR / spec.file), "-q", "-s"],
+            spec.budget_seconds,
+        )
+        metrics = {"exit_ok": float(ok), "seconds": seconds}
+    else:
+        raise ValueError(f"unknown bench kind {spec.kind!r}")
+    if spec.kind == "inline" and ok:
+        metrics.setdefault("seconds", seconds)
+    return BenchResult(name=spec.name, seconds=seconds, metrics=metrics, ok=ok, error=error)
+
+
+def run_suite(suite: str, verbose: bool = True) -> List[BenchResult]:
+    results = []
+    for spec in select(suite):
+        if verbose:
+            print(f"[bench] {spec.name} ({spec.kind}) ...", flush=True)
+        result = run_spec(spec)
+        results.append(result)
+        if verbose:
+            status = "ok" if result.ok else f"FAIL ({result.error})"
+            headline = spec.headline()
+            extra = (
+                f"  {headline}={result.metrics[headline]:.3f}"
+                if headline and headline in result.metrics
+                else ""
+            )
+            print(f"[bench]   {status} in {result.seconds:.2f}s{extra}", flush=True)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# reports + compare gating
+# ---------------------------------------------------------------------------
+
+
+def write_report(suite: str, results: List[BenchResult], path: Path) -> Dict[str, object]:
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "telemetry_schema_version": TELEMETRY_SCHEMA_VERSION,
+        "suite": suite,
+        "git_sha": git_sha(),
+        "platform": platform_fingerprint(),
+        "results": [r.to_dict() for r in results],
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    report = json.loads(Path(path).read_text())
+    version = report.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench report schema {version!r} != supported {BENCH_SCHEMA_VERSION}"
+        )
+    return report
+
+
+def _metric_regressed(metric: MetricSpec, current: float, baseline: float) -> bool:
+    if metric.tolerance == 0.0:
+        return (current < baseline) if metric.direction == "higher" else (current > baseline)
+    if metric.direction == "higher":
+        return current < baseline * (1.0 - metric.tolerance)
+    return current > baseline * (1.0 + metric.tolerance)
+
+
+def compare_reports(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Violations of the baseline's gated metrics; empty list = pass.
+
+    Only metrics with ``gate=True`` in the current registry participate;
+    benches present in the baseline but missing (or failed) in the
+    current run are violations too — a bench silently dropping out of
+    the suite must not read as a pass.
+    """
+    violations: List[str] = []
+    current_by_name = {r["bench"]: r for r in current.get("results", [])}
+    for entry in baseline.get("results", []):
+        name = entry["bench"]
+        try:
+            spec = spec_by_name(name)
+        except KeyError:
+            continue  # baseline knows a bench this registry no longer has
+        run = current_by_name.get(name)
+        if run is None:
+            violations.append(f"{name}: missing from current run")
+            continue
+        if not run.get("ok", False):
+            violations.append(f"{name}: failed ({run.get('error', 'unknown error')})")
+            continue
+        for metric in spec.metrics:
+            if not metric.gate or metric.name not in entry["metrics"]:
+                continue
+            base_value = float(entry["metrics"][metric.name])
+            if metric.name not in run["metrics"]:
+                violations.append(f"{name}.{metric.name}: missing from current run")
+                continue
+            value = float(run["metrics"][metric.name])
+            if _metric_regressed(metric, value, base_value):
+                violations.append(
+                    f"{name}.{metric.name}: {value:.4f} regressed vs baseline "
+                    f"{base_value:.4f} ({metric.direction} is better, "
+                    f"tolerance {metric.tolerance:.0%})"
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CLI entry (wired as `repro bench`)
+# ---------------------------------------------------------------------------
+
+
+def main(args) -> int:
+    if args.list:
+        for spec in REGISTRY:
+            head = spec.headline() or "-"
+            print(
+                f"{spec.name:<28} suite={spec.suite:<8} kind={spec.kind:<7} "
+                f"budget={spec.budget_seconds:>5.0f}s headline={head}"
+            )
+        return 0
+    results = run_suite(args.suite)
+    out = Path(args.output) if args.output else _REPO_ROOT / f"BENCH_{args.suite}.json"
+    report = write_report(args.suite, results, out)
+    failed = [r for r in results if not r.ok]
+    print(f"[bench] report written to {out}")
+    if failed:
+        for r in failed:
+            print(f"[bench] FAILED: {r.name}: {r.error}", file=sys.stderr)
+    if args.compare:
+        baseline = load_report(Path(args.compare))
+        violations = compare_reports(report, baseline)
+        if violations:
+            print(f"[bench] {len(violations)} regression(s) vs {args.compare}:",
+                  file=sys.stderr)
+            for violation in violations:
+                print(f"[bench]   {violation}", file=sys.stderr)
+            return 1
+        print(f"[bench] compare vs {args.compare}: all gated metrics within tolerance")
+    return 1 if failed else 0

@@ -17,12 +17,14 @@ sampling) on either engine; :class:`KVTransitionStore` is the ingest-
 on-demand reorganization mirror used by the Figure-14 characterization.
 """
 
+from typing import Optional, Sequence
+
 from .arena import AGENT_SPLIT, JOINT_GATHER, TransitionArena
 from .kv_layout import KVTransitionStore
 from .multi_agent import MultiAgentReplay
 from .nstep import NStepAccumulator
 from .prioritized import PrioritizedReplayBuffer
-from .replay import PAPER_BUFFER_CAPACITY, ReplayBuffer
+from .replay import PAPER_BUFFER_CAPACITY, ReplayBuffer, validate_batch_fields
 from .storage import (
     STORAGE_ENGINES,
     AgentMajorStorage,
@@ -32,8 +34,59 @@ from .storage import (
 from .sum_tree import MinTree, SegmentTree, SumTree
 from .transition import FLOAT_BYTES, JointSchema, TransitionSchema
 
+
+def make_replay(
+    config=None,
+    *,
+    obs_dims: Optional[Sequence[int]] = None,
+    act_dims: Optional[Sequence[int]] = None,
+    schema: Optional[JointSchema] = None,
+    capacity: Optional[int] = None,
+    prioritized: bool = False,
+    alpha: Optional[float] = None,
+    storage: Optional[str] = None,
+) -> MultiAgentReplay:
+    """Construct a :class:`MultiAgentReplay` from config + explicit options.
+
+    The redesigned construction entry point: dimensions come from either
+    a :class:`JointSchema` (``schema=``) or explicit ``obs_dims`` /
+    ``act_dims`` — exactly one spelling.  A
+    :class:`~repro.algos.config.MARLConfig` (``config=``, optional)
+    supplies defaults for ``capacity`` (``buffer_capacity``), ``alpha``
+    (``per_alpha``), and ``storage``; every keyword overrides its config
+    field.  With no config, defaults match ``MultiAgentReplay``'s own
+    (capacity 1e6, alpha 0.6, storage from ``REPRO_STORAGE``).
+
+    >>> replay = make_replay(config, schema=vec_env.schema, storage="timestep_major")
+    >>> replay = make_replay(obs_dims=[8, 8], act_dims=[5, 5], prioritized=True)
+    """
+    if (schema is None) == (obs_dims is None and act_dims is None):
+        raise ValueError("pass exactly one of schema= or obs_dims=/act_dims=")
+    if schema is not None:
+        obs_dims = [s.obs_dim for s in schema.agents]
+        act_dims = [s.act_dim for s in schema.agents]
+    elif obs_dims is None or act_dims is None:
+        raise ValueError("obs_dims and act_dims must be given together")
+    if capacity is None:
+        capacity = config.buffer_capacity if config is not None else 1_000_000
+    if alpha is None:
+        alpha = config.per_alpha if config is not None else 0.6
+    if storage is None and config is not None:
+        storage = config.storage
+    return MultiAgentReplay(
+        obs_dims,
+        act_dims,
+        capacity=capacity,
+        prioritized=prioritized,
+        alpha=alpha,
+        storage=storage,
+    )
+
+
 __all__ = [
     "ReplayBuffer",
+    "make_replay",
+    "validate_batch_fields",
     "PAPER_BUFFER_CAPACITY",
     "PrioritizedReplayBuffer",
     "MultiAgentReplay",

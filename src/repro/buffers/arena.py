@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import warn_deprecated
 from .transition import JointSchema
 
 __all__ = ["TransitionArena", "JOINT_GATHER", "AGENT_SPLIT"]
@@ -181,37 +182,41 @@ class TransitionArena:
 
     # -- joint reads ------------------------------------------------------------
 
-    def gather_rows(self, indices: Sequence[int]) -> np.ndarray:
-        """The O(m) row gather as a single fancy-index read.
+    def gather_joint(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        *,
+        runs: Optional[Sequence] = None,
+        vectorized: bool = True,
+    ) -> np.ndarray:
+        """Packed joint rows for ``indices`` or contiguous ``runs``.
 
-        One numpy take over the packed value block replaces the
-        per-index append loop; the copy volume (m packed rows) is
-        unchanged — only the Python-level overhead goes away.  The
-        faithful per-row loop survives as :meth:`gather_rows_loop` for
-        the characterization ablations.
+        The canonical joint read: exactly one of ``indices`` / ``runs``
+        selects the rows.  ``vectorized=True`` (default) is the O(m)
+        fancy-index read — one numpy take over the packed block;
+        ``vectorized=False`` keeps the reference per-row append loop so
+        ablations can charge the interpreter overhead of row-at-a-time
+        assembly separately from the layout's copy-volume win.  Run
+        reads are slice-per-run either way (a run *is* the vectorized
+        access pattern).
         """
+        if (indices is None) == (runs is None):
+            raise ValueError("pass exactly one of indices= or runs=")
+        if runs is not None:
+            return self.gather_run_rows(runs)
         if len(indices) == 0:
-            raise ValueError("gather_rows on empty index list")
+            raise ValueError("gather on empty index list")
         if self._size == 0:
-            raise ValueError("gather_rows on empty store")
-        idx = np.asarray(indices, dtype=np.int64)
-        bad = (idx < 0) | (idx >= self._size)
-        if bad.any():
-            i = int(idx[np.argmax(bad)])
-            raise IndexError(f"index {i} out of range for store of size {self._size}")
-        return self._values[idx]
-
-    def gather_rows_loop(self, indices: Sequence[int]) -> np.ndarray:
-        """Reference per-row gather loop (the pre-vectorization path).
-
-        Kept selectable so ablation benches can charge the interpreter
-        overhead of row-at-a-time assembly separately from the layout's
-        O(m)-vs-O(N*m) copy-volume win.
-        """
-        if len(indices) == 0:
-            raise ValueError("gather_rows on empty index list")
-        if self._size == 0:
-            raise ValueError("gather_rows on empty store")
+            raise ValueError("gather on empty store")
+        if vectorized:
+            idx = np.asarray(indices, dtype=np.int64)
+            bad = (idx < 0) | (idx >= self._size)
+            if bad.any():
+                i = int(idx[np.argmax(bad)])
+                raise IndexError(
+                    f"index {i} out of range for store of size {self._size}"
+                )
+            return self._values[idx]
         rows: List[np.ndarray] = []
         for i in indices:
             i = int(i)
@@ -219,6 +224,19 @@ class TransitionArena:
                 raise IndexError(f"index {i} out of range for store of size {self._size}")
             rows.append(self._values[i])
         return np.array(rows)
+
+    def gather_rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Deprecated alias of ``gather_joint(indices)``."""
+        warn_deprecated("TransitionArena.gather_rows", "gather_joint(indices)")
+        return self.gather_joint(indices)
+
+    def gather_rows_loop(self, indices: Sequence[int]) -> np.ndarray:
+        """Deprecated alias of ``gather_joint(indices, vectorized=False)``."""
+        warn_deprecated(
+            "TransitionArena.gather_rows_loop",
+            "gather_joint(indices, vectorized=False)",
+        )
+        return self.gather_joint(indices, vectorized=False)
 
     def gather_run_rows(self, runs: Sequence) -> np.ndarray:
         """Packed rows for a list of contiguous ``(start, length)`` runs.
@@ -275,25 +293,38 @@ class TransitionArena:
         with self._phase(AGENT_SPLIT):
             return [self.unpack_agent(rows, a) for a in range(self.num_agents)]
 
-    def gather_all_agents(self, indices: Sequence[int]) -> Dict[int, AgentBatchFields]:
-        """One-pass mini-batch for every agent from a single index array.
+    def gather_fields(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        *,
+        runs: Optional[Sequence] = None,
+        vectorized: bool = True,
+    ) -> List[AgentBatchFields]:
+        """Every agent's batch fields from one joint read.
 
-        This is the optimized sampling path: the row gather happens once
-        (O(m)), then per-agent views are cut out of the already-resident
-        packed rows.
+        The canonical one-pass mini-batch assembly: the packed-row
+        gather happens once (O(m) — charged to the ``joint_gather``
+        phase), then each agent's fields are cut out of the already-
+        resident rows (``agent_split`` phase).  Selection mirrors
+        :meth:`gather_joint`: exactly one of ``indices`` / ``runs``.
         """
-        rows = self.gather_rows(indices)
-        return {a: self.unpack_agent(rows, a) for a in range(self.num_agents)}
+        with self._phase(JOINT_GATHER):
+            rows = self.gather_joint(indices, runs=runs, vectorized=vectorized)
+        return self.split_rows(rows)
+
+    def gather_all_agents(self, indices: Sequence[int]) -> Dict[int, AgentBatchFields]:
+        """Deprecated alias of ``gather_fields(indices)`` (dict-keyed)."""
+        warn_deprecated("TransitionArena.gather_all_agents", "gather_fields(indices)")
+        return dict(enumerate(self.gather_fields(indices)))
 
     def gather_all_agents_fields(self, indices: Sequence[int]) -> List[AgentBatchFields]:
-        """Like :meth:`gather_all_agents` but as an agent-ordered list,
-        with the gather and split phases attributed separately."""
-        with self._phase(JOINT_GATHER):
-            rows = self.gather_rows(indices)
-        return self.split_rows(rows)
+        """Deprecated alias of ``gather_fields(indices)``."""
+        warn_deprecated(
+            "TransitionArena.gather_all_agents_fields", "gather_fields(indices)"
+        )
+        return self.gather_fields(indices)
 
     def gather_runs_fields(self, runs: Sequence) -> List[AgentBatchFields]:
-        """Run-slice joint assembly split into per-agent batch fields."""
-        with self._phase(JOINT_GATHER):
-            rows = self.gather_run_rows(runs)
-        return self.split_rows(rows)
+        """Deprecated alias of ``gather_fields(runs=runs)``."""
+        warn_deprecated("TransitionArena.gather_runs_fields", "gather_fields(runs=runs)")
+        return self.gather_fields(runs=runs)

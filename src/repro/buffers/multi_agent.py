@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..compat import warn_deprecated
 from .arena import TransitionArena
 from .prioritized import PrioritizedReplayBuffer
 from .replay import ReplayBuffer
@@ -117,27 +118,44 @@ class MultiAgentReplay:
             self.arena.advance(1)
         return indices.pop()
 
-    def add_batch(
-        self,
-        obs: Sequence[np.ndarray],
-        act: Sequence[np.ndarray],
-        rew: Sequence[np.ndarray],
-        next_obs: Sequence[np.ndarray],
-        done: Sequence[np.ndarray],
-    ) -> int:
-        """Insert K joint timesteps per agent in one vectorized write.
+    def ingest(self, batch=None, *, packed_rows: Optional[np.ndarray] = None) -> int:
+        """Insert K joint timesteps from either call shape; returns K.
 
-        Fields are per-agent stacked arrays (``obs[k]`` of shape
-        ``(K, obs_dim_k)``); all buffers advance in lock-step exactly as
-        K :meth:`add` calls would.  Returns K.
+        The canonical batch-write entry point — exactly one of:
+
+        ``batch``
+            A 5-tuple ``(obs, act, rew, next_obs, done)`` of per-agent
+            field lists (``obs[k]`` of shape ``(K, obs_dim_k)``).  All
+            buffers advance in lock-step exactly as K :meth:`add` calls
+            would.
+        ``packed_rows``
+            ``(K, schema.width)`` packed joint-schema rows (every
+            agent's transition back to back — the layout
+            :meth:`~repro.envs.parallel.ParallelVectorEnv.packed_transitions`
+            exposes and the timestep-major arena stores).  With an arena
+            backend (non-prioritized) the rows land in the ring with one
+            fancy-index write and no per-field splitting; other
+            configurations split the rows by schema offsets and take the
+            ``batch`` path.
+
+        End state is identical to K :meth:`add` calls either way.
         """
+        if (batch is None) == (packed_rows is None):
+            raise ValueError("pass exactly one of batch= or packed_rows=")
+        if packed_rows is not None:
+            return self._ingest_packed(packed_rows)
+        if len(batch) != 5:
+            raise ValueError(
+                f"batch must be (obs, act, rew, next_obs, done), got {len(batch)} fields"
+            )
+        obs, act, rew, next_obs, done = batch
         n = self.num_agents
         if not (len(obs) == len(act) == len(rew) == len(next_obs) == len(done) == n):
-            raise ValueError(f"add_batch expects {n} per-agent field arrays")
+            raise ValueError(f"ingest expects {n} per-agent field arrays")
         firsts = set()
         k = None
         for a, buf in enumerate(self.buffers):
-            idx = buf.add_batch(obs[a], act[a], rew[a], next_obs[a], done[a])
+            idx = buf.ingest((obs[a], act[a], rew[a], next_obs[a], done[a]))
             firsts.add((int(idx[0]), len(idx)))
             k = np.asarray(rew[a]).shape[0]
         if len(firsts) != 1:
@@ -149,21 +167,8 @@ class MultiAgentReplay:
             self.arena.advance(int(k))
         return int(k)
 
-    def add_packed_batch(self, rows: np.ndarray) -> int:
-        """Insert K timesteps given as packed joint-schema rows.
-
-        ``rows`` is ``(K, schema.width)`` with every agent's transition
-        packed back to back (obs | act | rew | next_obs | done per
-        agent) — exactly the layout
-        :meth:`~repro.envs.parallel.ParallelVectorEnv.packed_transitions`
-        exposes and the timestep-major arena stores.  With an arena
-        backend (non-prioritized) the rows land in the ring with one
-        fancy-index write and no per-field splitting: the shared-memory
-        transition block flows into replay storage without intermediate
-        copies.  Other configurations split the rows by schema offsets
-        and delegate to :meth:`add_batch`.  End state is identical to K
-        :meth:`add` calls either way.  Returns K.
-        """
+    def _ingest_packed(self, rows: np.ndarray) -> int:
+        """Packed-row arm of :meth:`ingest`."""
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != self.schema.width:
             raise ValueError(
@@ -172,7 +177,7 @@ class MultiAgentReplay:
             )
         k = rows.shape[0]
         if k == 0:
-            raise ValueError("add_packed_batch requires at least one row")
+            raise ValueError("ingest requires at least one row")
         if self.arena is not None and not self.prioritized:
             # direct packed-row ring write; advance the per-agent
             # front-end cursors in lock-step (they alias these columns)
@@ -193,7 +198,24 @@ class MultiAgentReplay:
             rew.append(block[:, s["rew"]].ravel())
             next_obs.append(block[:, s["next_obs"]])
             done.append(block[:, s["done"]].ravel())
-        return self.add_batch(obs, act, rew, next_obs, done)
+        return self.ingest((obs, act, rew, next_obs, done))
+
+    def add_batch(
+        self,
+        obs: Sequence[np.ndarray],
+        act: Sequence[np.ndarray],
+        rew: Sequence[np.ndarray],
+        next_obs: Sequence[np.ndarray],
+        done: Sequence[np.ndarray],
+    ) -> int:
+        """Deprecated alias of ``ingest((obs, act, rew, next_obs, done))``."""
+        warn_deprecated("MultiAgentReplay.add_batch", "ingest(batch)")
+        return self.ingest((obs, act, rew, next_obs, done))
+
+    def add_packed_batch(self, rows: np.ndarray) -> int:
+        """Deprecated alias of ``ingest(packed_rows=rows)``."""
+        warn_deprecated("MultiAgentReplay.add_packed_batch", "ingest(packed_rows=rows)")
+        return self.ingest(packed_rows=rows)
 
     def clear(self) -> None:
         for buf in self.buffers:
@@ -224,42 +246,79 @@ class MultiAgentReplay:
         """True once enough joint timesteps exist for one mini-batch."""
         return len(self) >= max(batch_size, 1)
 
+    def gather(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        *,
+        runs: Optional[Sequence] = None,
+        vectorized: bool = False,
+    ) -> List[tuple]:
+        """Every agent's batch fields for ``indices`` or contiguous ``runs``.
+
+        The canonical read: exactly one of ``indices`` / ``runs``
+        selects the rows; ``vectorized`` selects the engine.
+
+        * ``indices, vectorized=False`` — the paper's characterized
+          O(N*m) bottleneck: each agent's buffer walked with the common
+          indices array through the reference per-index loop.
+        * ``indices, vectorized=True`` — fancy-index gathers; on
+          timestep-major storage, one O(m) packed-row read split by
+          joint-schema column offsets (bit-identical values).
+        * ``runs, vectorized=False`` — the faithful run assembly:
+          per-buffer :meth:`ReplayBuffer.gather_run` slices stitched
+          with ``np.concatenate`` per field.
+        * ``runs, vectorized=True`` — preallocated slice-filled
+          assembly (:meth:`ReplayBuffer.gather_runs`); on timestep-major
+          storage a single run-slice read of packed joint rows.
+        """
+        if (indices is None) == (runs is None):
+            raise ValueError("pass exactly one of indices= or runs=")
+        if runs is not None:
+            if vectorized:
+                if self.arena is not None:
+                    return self.arena.gather_fields(runs=runs)
+                return [buf.gather_runs(runs) for buf in self.buffers]
+            out = []
+            for buf in self.buffers:
+                parts = [buf.gather_run(run.start, run.length) for run in runs]
+                out.append(
+                    tuple(
+                        np.concatenate([p[f] for p in parts]) for f in range(5)
+                    )
+                )
+            return out
+        if vectorized:
+            if self.arena is not None:
+                # timestep-major fast path: one O(m) packed-row gather for
+                # all agents, split by joint-schema column offsets.  The
+                # values are bit-identical to the per-agent fancy-index
+                # gathers (same rows, same columns, copy-then-view).
+                return self.arena.gather_fields(indices)
+            return [buf.gather_vectorized(indices) for buf in self.buffers]
+        return [buf.gather(indices) for buf in self.buffers]
+
     def gather_all(
         self,
         indices: Sequence[int],
         vectorized: bool = False,
         fast_path: Optional[bool] = None,
     ) -> List[tuple]:
-        """Baseline O(N*m) gather: loop every agent's buffer over ``indices``.
+        """Deprecated alias of ``gather(indices, vectorized=...)``.
 
-        This is exactly the paper's characterized bottleneck — each agent
-        trainer iterates over all agents' replay buffers with the common
-        indices array.  ``fast_path`` (when given) overrides
-        ``vectorized`` and selects the fancy-index gather; both spellings
-        are kept so the sampling-engine flag and the older ablation knob
-        stay in sync.
+        ``fast_path`` (when given) overrides ``vectorized`` — the two
+        spellings were kept in sync historically; the canonical method
+        has only ``vectorized``.
         """
+        warn_deprecated("MultiAgentReplay.gather_all", "gather(indices, vectorized=...)")
         fast = vectorized if fast_path is None else fast_path
-        if fast:
-            if self.arena is not None:
-                # timestep-major fast path: one O(m) packed-row gather for
-                # all agents, split by joint-schema column offsets.  The
-                # values are bit-identical to the per-agent fancy-index
-                # gathers (same rows, same columns, copy-then-view).
-                return self.arena.gather_all_agents_fields(indices)
-            return [buf.gather_vectorized(indices) for buf in self.buffers]
-        return [buf.gather(indices) for buf in self.buffers]
+        return self.gather(indices, vectorized=fast)
 
     def gather_runs_all(self, runs: Sequence) -> List[tuple]:
-        """Run-slice batch assembly for every agent.
-
-        Agent-major: one :meth:`ReplayBuffer.gather_runs` pass per agent
-        (N preallocated outputs, N x runs slice copies).  Timestep-major:
-        a single run-slice read of packed joint rows, split per agent.
-        """
-        if self.arena is not None:
-            return self.arena.gather_runs_fields(runs)
-        return [buf.gather_runs(runs) for buf in self.buffers]
+        """Deprecated alias of ``gather(runs=runs, vectorized=True)``."""
+        warn_deprecated(
+            "MultiAgentReplay.gather_runs_all", "gather(runs=runs, vectorized=True)"
+        )
+        return self.gather(runs=runs, vectorized=True)
 
     def priority_buffer(self, agent_idx: int) -> PrioritizedReplayBuffer:
         """Typed access to a prioritized buffer; raises if not prioritized."""

@@ -72,14 +72,15 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         self._min_tree[idx] = scaled
         return idx
 
-    def add_batch(self, obs, act, rew, next_obs, done) -> np.ndarray:
+    def ingest(self, batch) -> np.ndarray:
         """Append K transitions, all at the current max priority.
 
         Tree state matches K sequential :meth:`add` calls: every written
         slot receives ``max_priority ** alpha`` (one level-wise rebuild
-        instead of K leaf-to-root walks).
+        instead of K leaf-to-root walks).  The deprecated ``add_batch``
+        alias dispatches here, so legacy callers keep the tree updates.
         """
-        idx = super().add_batch(obs, act, rew, next_obs, done)
+        idx = super().ingest(batch)
         scaled = self._max_priority**self.alpha
         vals = np.full(idx.shape, scaled, dtype=np.float64)
         self._sum_tree.set_batch(idx, vals)

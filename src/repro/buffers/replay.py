@@ -33,15 +33,41 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..compat import warn_deprecated
 from .storage import AgentMajorStorage
 from .transition import TransitionSchema
 
-__all__ = ["ReplayBuffer", "PAPER_BUFFER_CAPACITY"]
+__all__ = ["ReplayBuffer", "PAPER_BUFFER_CAPACITY", "validate_batch_fields"]
 
 #: Paper §V: "The size of the replay buffer is 1 million."
 PAPER_BUFFER_CAPACITY = 1_000_000
 
 BatchFields = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def validate_batch_fields(batch) -> Tuple[BatchFields, int]:
+    """Normalize one ingest batch: float64 arrays + shared leading dim K.
+
+    ``batch`` is the canonical 5-tuple ``(obs, act, rew, next_obs, done)``
+    of stacked arrays.  The single validation path behind every batch
+    ingest entry point (:meth:`ReplayBuffer.ingest`,
+    :meth:`~repro.buffers.multi_agent.MultiAgentReplay.ingest`): checks
+    arity, K > 0, and leading-dimension agreement once, then returns the
+    normalized fields and K.
+    """
+    if len(batch) != 5:
+        raise ValueError(
+            f"batch must be (obs, act, rew, next_obs, done), got {len(batch)} fields"
+        )
+    obs, act, rew, next_obs, done = (
+        np.asarray(f, dtype=np.float64) for f in batch
+    )
+    k = rew.shape[0] if rew.ndim else 0
+    if k == 0:
+        raise ValueError("ingest requires at least one transition")
+    if not (obs.shape[0] == act.shape[0] == next_obs.shape[0] == done.shape[0] == k):
+        raise ValueError("ingest fields must share the leading dimension")
+    return (obs, act, rew, next_obs, done), k
 
 
 class ReplayBuffer:
@@ -113,32 +139,18 @@ class ReplayBuffer:
         self._size = min(self._size + 1, self.capacity)
         return idx
 
-    def add_batch(
-        self,
-        obs: np.ndarray,
-        act: np.ndarray,
-        rew: np.ndarray,
-        next_obs: np.ndarray,
-        done: np.ndarray,
-    ) -> np.ndarray:
+    def ingest(self, batch) -> np.ndarray:
         """Append K transitions in stream order with one fancy-index write.
 
-        Equivalent to K sequential :meth:`add` calls (same final ring
-        contents, cursor, and size), minus the K Python-level round
-        trips.  Returns the slot indices actually written — when K
-        exceeds the capacity only the trailing ``capacity`` rows
-        survive, exactly as sequential adds would leave them.
+        ``batch`` is the canonical 5-tuple ``(obs, act, rew, next_obs,
+        done)`` of stacked arrays (leading dimension K).  Equivalent to
+        K sequential :meth:`add` calls (same final ring contents,
+        cursor, and size), minus the K Python-level round trips.
+        Returns the slot indices actually written — when K exceeds the
+        capacity only the trailing ``capacity`` rows survive, exactly as
+        sequential adds would leave them.
         """
-        obs = np.asarray(obs, dtype=np.float64)
-        act = np.asarray(act, dtype=np.float64)
-        rew = np.asarray(rew, dtype=np.float64)
-        next_obs = np.asarray(next_obs, dtype=np.float64)
-        done = np.asarray(done, dtype=np.float64)
-        k = rew.shape[0]
-        if k == 0:
-            raise ValueError("add_batch requires at least one transition")
-        if not (obs.shape[0] == act.shape[0] == next_obs.shape[0] == done.shape[0] == k):
-            raise ValueError("add_batch fields must share the leading dimension")
+        (obs, act, rew, next_obs, done), k = validate_batch_fields(batch)
         # rows older than the last `capacity` would be overwritten anyway
         first = max(0, k - self.capacity)
         idx = (self._next_idx + np.arange(first, k)) % self.capacity
@@ -150,6 +162,18 @@ class ReplayBuffer:
         self._next_idx = (self._next_idx + k) % self.capacity
         self._size = min(self._size + k, self.capacity)
         return idx
+
+    def add_batch(
+        self,
+        obs: np.ndarray,
+        act: np.ndarray,
+        rew: np.ndarray,
+        next_obs: np.ndarray,
+        done: np.ndarray,
+    ) -> np.ndarray:
+        """Deprecated alias of ``ingest((obs, act, rew, next_obs, done))``."""
+        warn_deprecated("ReplayBuffer.add_batch", "ingest(batch)")
+        return self.ingest((obs, act, rew, next_obs, done))
 
     def clear(self) -> None:
         self._next_idx = 0

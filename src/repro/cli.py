@@ -8,6 +8,8 @@ Commands
 ``sample``     microbenchmark the sampling strategies against each other
 ``envs``       list registered environments and their observation spaces
 ``variants``   list trainer variants
+``bench``      run a registered benchmark suite, write BENCH_<suite>.json,
+               optionally gate against a baseline (--compare)
 
 Every command accepts ``--seed`` and prints deterministic, parseable
 output; see ``python -m repro <command> --help`` for knobs.
@@ -99,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--save-json", default=None, help="write RunResult JSON here")
     train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
+    train.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream the run as typed telemetry records (manifest, spans, "
+        "counters, reward series) to a JSONL file at PATH",
+    )
 
     profile = sub.add_parser("profile", help="phase breakdown of update rounds")
     profile.add_argument("--algorithm", choices=["maddpg", "matd3"], default="maddpg")
@@ -149,6 +158,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("envs", help="list registered environments")
     sub.add_parser("variants", help="list trainer variants")
 
+    bench = sub.add_parser("bench", help="run a registered benchmark suite")
+    bench.add_argument(
+        "--suite",
+        choices=["smoke", "ci", "exhibit", "all"],
+        default="smoke",
+        help="which registered specs to run (ci includes smoke)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="report path (default: BENCH_<suite>.json at the repo root)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="gate gated metrics against this baseline report; exits "
+        "nonzero on any regression beyond its metric's tolerance",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list registered benchmarks and exit"
+    )
+
     report = sub.add_parser("report", help="regenerate headline exhibits as markdown")
     report.add_argument("--output", default=None, help="write markdown here (default: stdout)")
     report.add_argument("--agents", type=int, nargs="+", default=[3, 6])
@@ -157,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--env", default="predator_prey")
     report.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _make_telemetry(path):
+    """JSONL telemetry recorder for a CLI path, or None when not asked for."""
+    if path is None:
+        return None
+    from .telemetry import jsonl_recorder
+
+    return jsonl_recorder(path)
 
 
 def _cmd_train_pipeline(args, config: MARLConfig) -> int:
@@ -183,6 +224,7 @@ def _cmd_train_pipeline(args, config: MARLConfig) -> int:
         args.algorithm, args.variant, vec.obs_dims, vec.act_dims,
         config=config, seed=args.seed,
     )
+    telemetry = _make_telemetry(args.telemetry)
     try:
         result = train_steps(
             vec,
@@ -192,10 +234,14 @@ def _cmd_train_pipeline(args, config: MARLConfig) -> int:
             env_name=args.env,
             prefetch=args.prefetch,
             prefetch_seed=args.seed,
+            telemetry=telemetry,
         )
     finally:
         if hasattr(vec, "close"):
             vec.close()
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry written to {args.telemetry}")
     print(
         f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
         f"{result.extra['transitions']:.0f} transitions "
@@ -243,7 +289,15 @@ def _cmd_train(args) -> int:
         config=config,
     )
     print(f"training {spec.key} for {args.episodes} episodes ...")
-    result = run_workload(spec, progress_every=max(args.episodes // 5, 1))
+    telemetry = _make_telemetry(args.telemetry)
+    try:
+        result = run_workload(
+            spec, progress_every=max(args.episodes // 5, 1), telemetry=telemetry
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry written to {args.telemetry}")
     print(
         f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
         f"mean reward (last 20%) {result.mean_episode_reward(last=max(args.episodes // 5, 1)):.2f}"
@@ -373,6 +427,12 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import main as bench_main
+
+    return bench_main(args)
+
+
 def _cmd_envs(_args) -> int:
     for name in available_envs():
         env = make(name, num_agents=3, seed=0)
@@ -394,6 +454,7 @@ _COMMANDS = {
     "envs": _cmd_envs,
     "variants": _cmd_variants,
     "report": _cmd_report,
+    "bench": _cmd_bench,
 }
 
 

@@ -1,0 +1,28 @@
+"""Deprecation shims for the replay/sampler API redesign.
+
+The gather/ingest surface grew one method per engine and call shape
+(``add_batch``, ``add_packed_batch``, ``gather_all``, ``gather_rows``,
+``gather_all_agents_fields``, ...).  The redesigned API collapses each
+family behind one canonical entry point — ``ingest(batch | packed_rows)``
+and ``gather(indices | runs, *, vectorized)`` — and keeps every legacy
+name as a delegating alias that emits :class:`DeprecationWarning`
+through :func:`warn_deprecated`.  Aliases are behavior-preserving:
+byte-identical results, same exceptions, same RNG consumption.
+
+See ``docs/migration.md`` for the old -> new name mapping.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard deprecation message for a renamed API."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

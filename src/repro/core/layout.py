@@ -147,10 +147,8 @@ class LayoutReorganizer:
                 f"store holds {len(self.store)} rows; need >= {batch_size}"
             )
         indices = uniform_indices(rng, len(self.store), batch_size)
-        per_agent = self.store.gather_all_agents(indices)
-        agents: List[AgentBatch] = [
-            AgentBatch.from_fields(per_agent[a]) for a in range(self.store.num_agents)
-        ]
+        per_agent = self.store.gather_fields(indices)
+        agents: List[AgentBatch] = [AgentBatch.from_fields(f) for f in per_agent]
         return MiniBatch(agents=agents, indices=indices, weights=None, runs=[])
 
     # -- accounting ---------------------------------------------------------------

@@ -70,24 +70,18 @@ def _gather_runs_batch(replay: MultiAgentReplay, runs: List[Run]) -> List[AgentB
     all agents from one packed run-slice read (joint rows split by
     schema offsets) instead of N independent per-agent passes.
     """
-    return [AgentBatch.from_fields(f) for f in replay.gather_runs_all(runs)]
+    return [
+        AgentBatch.from_fields(f)
+        for f in replay.gather(runs=runs, vectorized=True)
+    ]
 
 
 def _gather_runs_concat(replay: MultiAgentReplay, runs: List[Run]) -> List[AgentBatch]:
     """Faithful assembly: per-run gathers stitched with np.concatenate."""
-    agents: List[AgentBatch] = []
-    for buf in replay.buffers:
-        parts = [buf.gather_run(run.start, run.length) for run in runs]
-        agents.append(
-            AgentBatch(
-                obs=np.concatenate([p[0] for p in parts]),
-                act=np.concatenate([p[1] for p in parts]),
-                rew=np.concatenate([p[2] for p in parts]),
-                next_obs=np.concatenate([p[3] for p in parts]),
-                done=np.concatenate([p[4] for p in parts]),
-            )
-        )
-    return agents
+    return [
+        AgentBatch.from_fields(f)
+        for f in replay.gather(runs=runs, vectorized=False)
+    ]
 
 
 class Sampler:
@@ -164,7 +158,7 @@ class UniformSampler(Sampler):
     def sample(self, replay, rng, batch_size=PAPER_BATCH_SIZE, agent_idx=0) -> MiniBatch:
         self._check(replay, batch_size)
         indices = uniform_indices(rng, len(replay), batch_size)
-        fields = replay.gather_all(indices, vectorized=self.fast_path)
+        fields = replay.gather(indices, vectorized=self.fast_path)
         return MiniBatch(
             agents=[AgentBatch.from_fields(f) for f in fields],
             indices=indices,
@@ -256,7 +250,7 @@ class PrioritizedSampler(Sampler):
             rng, batch_size, fast_path=self.fast_path
         )
         weights = pbuf.importance_weights(indices, self.beta, fast_path=self.fast_path)
-        fields = replay.gather_all(indices, vectorized=self.fast_path)
+        fields = replay.gather(indices, vectorized=self.fast_path)
         return MiniBatch(
             agents=[AgentBatch.from_fields(f) for f in fields],
             indices=indices,
@@ -376,7 +370,7 @@ class InformationPrioritizedSampler(PrioritizedSampler):
         # Runs here are 1-4 rows (the predictor's neighbor counts), so a
         # single fancy-index read over the expanded indices beats per-run
         # slice assembly; the run list still feeds the memsim trace.
-        fields = replay.gather_all(indices, vectorized=True)
+        fields = replay.gather(indices, vectorized=True)
         agents = [AgentBatch.from_fields(f) for f in fields]
         return MiniBatch(agents=agents, indices=indices, weights=weights, runs=runs)
 

@@ -15,7 +15,8 @@ worker processes, and every cross-process field travels through one
   they step, so the collector can ingest a whole step into an
   arena-backed replay ring with a single packed-row write (zero copies
   at the Python layer, see
-  :meth:`~repro.buffers.multi_agent.MultiAgentReplay.add_packed_batch`);
+  :meth:`~repro.buffers.multi_agent.MultiAgentReplay.ingest` with
+  ``packed_rows=``);
 * an **observation block** ``(K, sum(obs_dims))`` holding the post-step
   (post-auto-reset) observations that feed the next batched actor
   forward.
@@ -259,6 +260,7 @@ class ParallelVectorEnv:
         self._steps_done = 0
         self._was_reset = False
         self._timer = None
+        self._telemetry = None
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -291,6 +293,18 @@ class ParallelVectorEnv:
     def attach_timer(self, timer) -> None:
         """Report ``env_step.worker_wait`` into ``timer`` (see phases)."""
         self._timer = timer
+
+    def attach_telemetry(self, recorder) -> None:
+        """Emit worker lifecycle events as typed telemetry records.
+
+        Worker-wait durations already flow through the attached timer
+        (``env_step.worker_wait`` counter samples); this adds explicit
+        ``env_step.worker_restart`` counters, one per bounded respawn,
+        tagged with the restarted worker id.
+        """
+        if recorder is not None and not recorder.enabled:
+            recorder = None
+        self._telemetry = recorder
 
     def close(self) -> None:
         """Shut workers down and unlink the shared-memory segment.
@@ -398,6 +412,10 @@ class ParallelVectorEnv:
                 pass
         self._spawn_worker(worker_id)
         self.restarts += 1
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "env_step.worker_restart", float(worker_id), unit="worker_id"
+            )
         self._conns[worker_id].send(_CMD_RESET)
         self._recv(worker_id)
 

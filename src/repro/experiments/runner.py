@@ -49,8 +49,13 @@ def build_workload(spec: WorkloadSpec):
 def run_workload(
     spec: WorkloadSpec,
     progress_every: Optional[int] = None,
+    telemetry=None,
 ) -> RunResult:
-    """Train one workload cell end to end and return its result."""
+    """Train one workload cell end to end and return its result.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryRecorder`) streams
+    the run's manifest, spans, and reward series into its sink.
+    """
     env, trainer = build_workload(spec)
     return train(
         env,
@@ -59,4 +64,5 @@ def run_workload(
         variant=spec.variant,
         env_name=spec.env_name,
         progress_every=progress_every,
+        telemetry=telemetry,
     )

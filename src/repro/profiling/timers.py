@@ -13,6 +13,15 @@ lock.  This is what lets the execution pipeline's background mini-batch
 assembly report ``prefetch.*`` phases into the same timer the trainer
 uses, without cross-thread corruption of either the stacks or the
 accumulators.
+
+The timer doubles as the **span adapter** of the telemetry subsystem:
+after :meth:`PhaseTimer.attach_telemetry`, every completed phase emits a
+:class:`~repro.telemetry.records.SpanEvent` (dotted name, duration,
+thread) and every externally measured duration fed through :meth:`add`
+— prefetch hit/stale accounting, ``env_step.worker_wait`` — emits a
+:class:`~repro.telemetry.records.CounterSample` into the attached
+recorder.  With no recorder (or a disabled one) the adapter costs a
+single attribute check per phase.
 """
 
 from __future__ import annotations
@@ -35,6 +44,18 @@ class PhaseTimer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._active = 0  # phases currently open across all threads
+        self._telemetry = None  # Optional[TelemetryRecorder], span adapter
+
+    def attach_telemetry(self, recorder) -> None:
+        """Mirror completed phases/adds into a telemetry recorder.
+
+        ``recorder`` is a :class:`~repro.telemetry.TelemetryRecorder`
+        (or ``None`` to detach).  Disabled recorders are dropped here so
+        the hot path pays exactly one ``is None`` check per phase.
+        """
+        if recorder is not None and not recorder.enabled:
+            recorder = None
+        self._telemetry = recorder
 
     def _stack(self) -> List[str]:
         """This thread's private nesting stack."""
@@ -72,6 +93,10 @@ class PhaseTimer:
                 self._active -= 1
                 self._totals[full] = self._totals.get(full, 0.0) + elapsed
                 self._counts[full] = self._counts.get(full, 0) + 1
+            if self._telemetry is not None:
+                self._telemetry.span_event(
+                    full, elapsed, thread=threading.current_thread().name
+                )
 
     # -- direct accumulation (for costs measured elsewhere) -----------------
 
@@ -82,6 +107,8 @@ class PhaseTimer:
         with self._lock:
             self._totals[name] = self._totals.get(name, 0.0) + seconds
             self._counts[name] = self._counts.get(name, 0) + count
+        if self._telemetry is not None:
+            self._telemetry.counter(name, seconds, unit="s")
 
     # -- queries ----------------------------------------------------------
 

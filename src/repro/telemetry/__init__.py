@@ -1,0 +1,51 @@
+"""Structured telemetry: typed perf records through pluggable sinks.
+
+The measurement layer the bench harness and training loops report
+through — :class:`RunManifest` + :class:`SpanEvent` +
+:class:`CounterSample` + :class:`SeriesPoint` records, emitted by a
+:class:`TelemetryRecorder` into a :class:`JSONLSink` (machine-readable
+trace), :class:`MemorySink` (tests / in-process), or :class:`NullSink`
+(disabled, near-zero overhead).  See ``docs/architecture.md``,
+"Telemetry and the bench harness".
+"""
+
+from .records import (
+    TELEMETRY_SCHEMA_VERSION,
+    CounterSample,
+    Record,
+    RunManifest,
+    SeriesPoint,
+    SpanEvent,
+    git_sha,
+    platform_fingerprint,
+    read_jsonl,
+    record_from_dict,
+)
+from .recorder import (
+    NULL_RECORDER,
+    TelemetryRecorder,
+    jsonl_recorder,
+    memory_recorder,
+)
+from .sinks import JSONLSink, MemorySink, NullSink, Sink
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "RunManifest",
+    "SpanEvent",
+    "CounterSample",
+    "SeriesPoint",
+    "Record",
+    "record_from_dict",
+    "read_jsonl",
+    "git_sha",
+    "platform_fingerprint",
+    "TelemetryRecorder",
+    "NULL_RECORDER",
+    "jsonl_recorder",
+    "memory_recorder",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JSONLSink",
+]

@@ -122,6 +122,8 @@ def collect_steps(
         raise ValueError(f"steps must be positive, got {steps}")
     if hasattr(vec_env, "attach_timer"):
         vec_env.attach_timer(trainer.timer)
+    if hasattr(vec_env, "attach_telemetry"):
+        vec_env.attach_telemetry(trainer.telemetry)
     obs = vec_env.reset()
     num_agents = vec_env.num_agents
     rewards_sum = 0.0

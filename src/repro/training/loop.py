@@ -32,6 +32,7 @@ from ..profiling.phases import (
     SAMPLING,
     UPDATE_ALL_TRAINERS,
 )
+from ..telemetry import TelemetryRecorder
 from .batched import collect_steps
 from .prefetch import PrefetchPipeline
 from .results import RunResult
@@ -76,14 +77,25 @@ def train(
     env_name: str = "env",
     progress_every: Optional[int] = None,
     callback: Optional[Callback] = None,
+    telemetry: Optional[TelemetryRecorder] = None,
 ) -> RunResult:
     """Train for ``episodes`` episodes and return the instrumented result.
 
     ``callback(episode_index, partial_result)`` fires after each episode
     (reward logging, early stopping by raising, etc.).
+
+    ``telemetry`` (when given and enabled) streams the run as typed
+    records: a :class:`RunManifest` header, every phase as a span, the
+    per-episode reward curve as ``episode_reward`` series points, and
+    end-of-run counters.
     """
     if episodes <= 0:
         raise ValueError(f"episodes must be positive, got {episodes}")
+    if telemetry is not None and telemetry.enabled:
+        trainer.attach_telemetry(telemetry)
+        telemetry.manifest(
+            config=trainer.config, label=f"train/{env_name}/{trainer.name}/{variant}"
+        )
     result = RunResult(
         algorithm=trainer.name,
         variant=variant,
@@ -99,6 +111,8 @@ def train(
         result.episode_rewards.append(float(np.sum(agent_totals)))
         result.agent_rewards.append([float(x) for x in agent_totals])
         result.episodes = episode + 1
+        if telemetry is not None:
+            telemetry.series("episode_reward", episode, result.episode_rewards[-1])
         if progress_every and (episode + 1) % progress_every == 0:
             elapsed = time.perf_counter() - start
             mean_r = float(np.mean(result.episode_rewards[-progress_every:]))
@@ -115,6 +129,10 @@ def train(
     result.env_steps = trainer.total_env_steps
     if trainer.layout is not None:
         result.extra.update(trainer.layout.cost_summary())
+    if telemetry is not None:
+        telemetry.counter("update_rounds", result.update_rounds, unit="rounds")
+        telemetry.counter("env_steps", result.env_steps, unit="steps")
+        telemetry.counter("total_seconds", result.total_seconds, unit="s")
     return result
 
 
@@ -127,6 +145,7 @@ def train_steps(
     explore: bool = True,
     prefetch: bool = False,
     prefetch_seed: Optional[int] = None,
+    telemetry: Optional[TelemetryRecorder] = None,
 ) -> RunResult:
     """Train over a vector env for ``steps`` lock-step vector sweeps.
 
@@ -146,6 +165,13 @@ def train_steps(
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
+    if telemetry is not None and telemetry.enabled:
+        trainer.attach_telemetry(telemetry)
+        telemetry.manifest(
+            seed=prefetch_seed,
+            config=trainer.config,
+            label=f"train_steps/{env_name}/{trainer.name}/{variant}",
+        )
     pipeline: Optional[PrefetchPipeline] = None
     if prefetch:
         pipeline = PrefetchPipeline(trainer, seed=prefetch_seed)
@@ -184,4 +210,17 @@ def train_steps(
         result.extra["overlap_fraction"] = (
             hidden / (hidden + visible) if hidden + visible > 0 else 0.0
         )
+    if telemetry is not None and telemetry.enabled:
+        telemetry.counter("update_rounds", result.update_rounds, unit="rounds")
+        telemetry.counter("transitions", result.extra["transitions"], unit="steps")
+        telemetry.counter(
+            "steps_per_second", result.extra["steps_per_second"], unit="steps/s"
+        )
+        if pipeline is not None:
+            telemetry.counter("prefetch.hits", pipeline.hits, unit="rounds")
+            telemetry.counter("prefetch.misses", pipeline.misses, unit="rounds")
+            telemetry.counter("prefetch.stales", pipeline.stale, unit="rounds")
+            telemetry.counter(
+                "overlap_fraction", result.extra["overlap_fraction"], unit="fraction"
+            )
     return result
