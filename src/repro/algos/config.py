@@ -66,6 +66,12 @@ class MARLConfig:
     # training, O(m) joint gathers on the fast paths).  None defers to
     # the REPRO_STORAGE environment variable, then agent_major.
     storage: Optional[str] = None
+    # compute backend for the batched update engine: "numpy" (reference,
+    # bit-exact vs the scalar loop) or "numba" (fused jitted kernels,
+    # tolerance-gated; degrades to numpy with a warning when numba is
+    # not installed).  None defers to the REPRO_BACKEND environment
+    # variable, then numpy.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.storage is not None:
@@ -75,6 +81,14 @@ class MARLConfig:
                 raise ValueError(
                     f"unknown storage engine {self.storage!r}; "
                     f"expected one of {STORAGE_ENGINES}"
+                )
+        if self.backend is not None:
+            from ..nn.backend import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"expected one of {BACKENDS}"
                 )
         if self.lr <= 0:
             raise ValueError(f"lr must be positive, got {self.lr}")
@@ -112,6 +126,13 @@ class MARLConfig:
         from ..buffers.storage import resolve_storage
 
         return resolve_storage(self.storage)
+
+    @property
+    def resolved_backend(self) -> str:
+        """Concrete compute backend after env-var and default fallback."""
+        from ..nn.backend import resolve_backend
+
+        return resolve_backend(self.backend)
 
     @property
     def warmup(self) -> int:

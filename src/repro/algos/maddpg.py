@@ -27,6 +27,7 @@ from ..core.importance import BetaSchedule
 from ..core.layout import LayoutReorganizer
 from ..core.samplers import PrioritizedSampler, Sampler, UniformSampler
 from ..nn import clip_grad_norm, mse_loss, weighted_mse_loss
+from ..nn.backend import get_backend
 from ..profiling.phases import (
     ACTION_SELECTION,
     BUFFER_WRITE,
@@ -79,6 +80,14 @@ class MADDPGTrainer:
         ``REPRO_STORAGE`` environment variable.  The timestep-major
         arena consumes the identical RNG stream and reproduces
         agent-major reward curves bit-for-bit.
+    backend:
+        Compute backend for the batched update engine: ``"numpy"``
+        (reference) or ``"numba"`` (fused jitted kernels), or a ready
+        :class:`~repro.nn.backend.ComputeBackend` instance.  ``None``
+        (default) defers to ``config.backend`` and then the
+        ``REPRO_BACKEND`` environment variable.  Only consulted by the
+        batched engine — the scalar per-agent loop always runs the
+        reference numpy math.
     seed:
         Seeds network init, exploration, and sampling.
     """
@@ -99,6 +108,7 @@ class MADDPGTrainer:
         fast_path: Optional[bool] = None,
         batched_update: Optional[bool] = None,
         storage: Optional[str] = None,
+        backend=None,
         seed: Optional[int] = None,
     ) -> None:
         if len(obs_dims) != len(act_dims) or not obs_dims:
@@ -180,6 +190,9 @@ class MADDPGTrainer:
             self.batched_update = bool(batched_update)
         else:
             self.batched_update = bool(self.config.batched_update)
+        self.backend = get_backend(
+            backend if backend is not None else self.config.backend
+        )
         self._engine: Optional[BatchedUpdateEngine] = (
             BatchedUpdateEngine(self) if self.batched_update else None
         )

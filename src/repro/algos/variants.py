@@ -134,12 +134,15 @@ def build_trainer(
     *,
     seed: Optional[int] = None,
     storage: Optional[str] = None,
+    backend=None,
 ) -> MADDPGTrainer:
     """Construct an algorithm x variant trainer on explicit dimensions.
 
-    ``seed`` and ``storage`` are keyword-only option flags.  ``storage``
-    overrides ``config.storage`` (and the ``REPRO_STORAGE`` environment
-    fallback) to pick the replay storage engine.
+    ``seed``, ``storage`` and ``backend`` are keyword-only option flags.
+    ``storage`` overrides ``config.storage`` (and the ``REPRO_STORAGE``
+    environment fallback) to pick the replay storage engine; ``backend``
+    overrides ``config.backend`` (and ``REPRO_BACKEND``) to pick the
+    compute backend for the batched update engine.
     """
     try:
         trainer_cls = ALGORITHMS[algorithm]
@@ -164,5 +167,6 @@ def build_trainer(
         use_layout=use_layout,
         layout_mode="lazy" if variant == "layout_lazy" else "eager",
         storage=storage,
+        backend=backend,
         seed=seed,
     )

@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         "timestep_major (shared packed arena; bit-identical training)",
     )
     train.add_argument(
+        "--backend",
+        choices=["numpy", "numba"],
+        default=None,
+        help="compute backend for the batched update engine: numpy "
+        "(reference) or numba (fused jitted kernels; falls back to numpy "
+        "with a warning when numba is missing; REPRO_BACKEND overrides)",
+    )
+    train.add_argument(
         "--steps",
         type=int,
         default=None,
@@ -134,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="replay storage engine to profile (timestep_major splits the "
         "sampling phase into joint_gather + agent_split)",
+    )
+    profile.add_argument(
+        "--backend",
+        choices=["numpy", "numba"],
+        default=None,
+        help="compute backend for the batched update engine "
+        "(with --batched-update; numba falls back to numpy when missing)",
     )
 
     sample = sub.add_parser("sample", help="sampling-strategy microbenchmark")
@@ -274,6 +289,7 @@ def _cmd_train(args) -> int:
         fast_path=args.fast_path,
         batched_update=args.batched_update,
         storage=args.storage,
+        backend=args.backend,
         env_workers=args.env_workers if args.env_workers is not None else 0,
         prefetch=args.prefetch,
     )
@@ -338,6 +354,7 @@ def _cmd_profile(args) -> int:
         fast_path=args.fast_path,
         batched_update=args.batched_update,
         storage=args.storage,
+        backend=args.backend,
     )
     trainer = build_trainer(
         args.algorithm, args.variant, env.obs_dims, env.act_dims,

@@ -19,7 +19,8 @@ from ..buffers.transition import JointSchema
 from ..core.indices import Run, expand_runs
 from .address_map import AgentMajorAddressMap
 from .cache import CacheConfig
-from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .compiled import make_hierarchy
+from .hierarchy import HierarchyConfig
 from .prefetcher import PrefetcherConfig
 from .trace import trainer_gather_trace
 
@@ -68,10 +69,10 @@ def _simulate(
     neighbors: Optional[int],
     hierarchy: HierarchyConfig,
     seed: int = 0,
-) -> MemoryHierarchy:
+):
     rng = np.random.default_rng(seed)
     amap = AgentMajorAddressMap(schema, capacity)
-    sim = MemoryHierarchy(hierarchy)
+    sim = make_hierarchy(hierarchy)
     idx = _trace_indices(rng, capacity, batch, neighbors)
     sim.run(trainer_gather_trace(amap, idx))
     return sim
@@ -119,7 +120,7 @@ def _warm_then_measure(
     then measure a random batch — isolating *capacity* misses from the
     compulsory misses a cold batch is dominated by."""
     amap = AgentMajorAddressMap(schema, occupancy)
-    sim = MemoryHierarchy(hierarchy)
+    sim = make_hierarchy(hierarchy)
     sim.run(trainer_gather_trace(amap, range(occupancy)))  # warm-up pass
     rng = np.random.default_rng(seed)
     idx = _trace_indices(rng, occupancy, batch, neighbors)

@@ -7,6 +7,14 @@ two-layer 64-unit ReLU MLP topology, MSE/weighted-MSE losses, and the
 Adam optimizer (lr = 0.01 per the paper's software settings).
 """
 
+from .backend import (
+    BACKENDS,
+    ComputeBackend,
+    KernelSet,
+    get_backend,
+    kernel_backend,
+    resolve_backend,
+)
 from .functional import (
     epsilon_greedy,
     gumbel_noise,
@@ -14,6 +22,7 @@ from .functional import (
     gumbel_softmax_backward,
     one_hot,
     softmax,
+    softmax_temperature,
 )
 from .init import (
     get_initializer,
@@ -44,12 +53,19 @@ from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .stacked import (
     StackedLinear,
     clip_grad_norm_stacked,
+    mlp3_parameters,
     stack_adam_states,
     stack_sequentials,
     stacked_mlp,
 )
 
 __all__ = [
+    "BACKENDS",
+    "ComputeBackend",
+    "KernelSet",
+    "get_backend",
+    "kernel_backend",
+    "resolve_backend",
     "Module",
     "Parameter",
     "RunningNormalizer",
@@ -80,8 +96,10 @@ __all__ = [
     "stack_sequentials",
     "clip_grad_norm_stacked",
     "stack_adam_states",
+    "mlp3_parameters",
     "one_hot",
     "softmax",
+    "softmax_temperature",
     "gumbel_noise",
     "gumbel_softmax",
     "gumbel_softmax_backward",

@@ -1,0 +1,80 @@
+"""Backend object model: a named compute path plus its kernel table.
+
+A :class:`ComputeBackend` is what config/CLI/env selection resolves to.
+The ``numpy`` backend carries no kernels (``kernels is None``) — code
+that receives it runs the existing reference numpy path untouched,
+which is what preserves the bit-exactness guarantee against the
+paper-faithful scalar loop.  Compiled backends carry a
+:class:`KernelSet` whose entries are either numba dispatchers (jitted)
+or the plain-Python kernel functions ("python mode", used by tests and
+the numba-free fallback benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from .kernels import KERNEL_NAMES
+
+__all__ = ["KernelSet", "ComputeBackend"]
+
+
+class KernelSet:
+    """Table of the compute kernels a compiled backend provides.
+
+    One attribute per name in :data:`~repro.nn.backend.kernels.KERNEL_NAMES`;
+    ``jitted`` records whether the entries are numba dispatchers or the
+    plain-Python kernel functions.
+    """
+
+    __slots__ = KERNEL_NAMES + ("jitted",)
+
+    def __init__(self, table: Mapping[str, Callable], jitted: bool = False) -> None:
+        missing = [name for name in KERNEL_NAMES if name not in table]
+        if missing:
+            raise ValueError(f"KernelSet missing kernels: {missing}")
+        for name in KERNEL_NAMES:
+            setattr(self, name, table[name])
+        self.jitted = jitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "jitted" if self.jitted else "python"
+        return f"KernelSet({mode}, {len(KERNEL_NAMES)} kernels)"
+
+
+@dataclass(frozen=True)
+class ComputeBackend:
+    """A resolved compute path: name, kernels, and provenance.
+
+    ``fallback_from``/``fallback_reason`` are set when the requested
+    backend could not be built (numba not installed) and selection
+    degraded to numpy — they flow into the telemetry manifest so a
+    trace is always attributable to the path that actually ran.
+    """
+
+    name: str
+    kernels: Optional[KernelSet] = None
+    jitted: bool = False
+    version: str = ""
+    fallback_from: str = ""
+    fallback_reason: str = ""
+
+    @property
+    def compiled(self) -> bool:
+        """True when kernel dispatch is active (numba or python mode)."""
+        return self.kernels is not None
+
+    def describe(self) -> Dict[str, Any]:
+        """Manifest-ready summary of the selected compute path."""
+        info: Dict[str, Any] = {
+            "name": self.name,
+            "compiled": self.compiled,
+            "jitted": self.jitted,
+        }
+        if self.version:
+            info["version"] = self.version
+        if self.fallback_from:
+            info["fallback_from"] = self.fallback_from
+            info["fallback_reason"] = self.fallback_reason
+        return info

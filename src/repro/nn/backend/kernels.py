@@ -1,0 +1,555 @@
+"""Fused compute kernels for the batched update round and memsim trace loop.
+
+Every function here is written in the numba-compatible subset of numpy:
+loops over the stack axis, 2-D C-contiguous ``np.dot`` operands,
+``np.ascontiguousarray`` for transposes, no ``keepdims`` reductions.
+They are plain Python functions — the numba backend wraps each with
+``@njit(cache=True, fastmath=False)`` when numba imports; the same
+source runs un-jitted ("python mode") so the kernel semantics are
+testable on machines without numba.
+
+Numerical contract: each kernel mirrors the reference numpy path's
+floating-point expression order (see the per-kernel notes), so the only
+divergence under numba is BLAS/reduction summation order — covered by
+the documented tolerances in ``tests/test_backend_kernels.py``.
+
+The MLP kernels are specialized to the repo's one network shape:
+``mlp()`` with an identity head, i.e. ``[Linear, ReLU, Linear, ReLU,
+Linear]`` stacked into three :class:`StackedLinear` layers.  Stacked
+tensors are ``(S, B, dim)`` with ``S`` the number of stacked networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_NAMES",
+    "mlp3_infer",
+    "mlp3_forward",
+    "mlp3_backward_params",
+    "mlp3_input_grad",
+    "td_target",
+    "mse_loss_grad",
+    "weighted_mse_loss_grad",
+    "softmax_temp",
+    "policy_grad",
+    "adam_step",
+    "soft_update",
+    "hierarchy_run",
+]
+
+#: Names of the kernels a backend must provide (order matters: the
+#: numba backend jits them in this order so warm-up is deterministic).
+KERNEL_NAMES = (
+    "mlp3_infer",
+    "mlp3_forward",
+    "mlp3_backward_params",
+    "mlp3_input_grad",
+    "td_target",
+    "mse_loss_grad",
+    "weighted_mse_loss_grad",
+    "softmax_temp",
+    "policy_grad",
+    "adam_step",
+    "soft_update",
+    "hierarchy_run",
+)
+
+
+def mlp3_infer(x, w0, b0, w1, b1, w2, b2):
+    """Inference forward through a stacked 3-Linear ReLU MLP (no caches).
+
+    ``x`` is ``(S, B, in)`` C-contiguous; weights are ``(S, in, out)``,
+    biases ``(S, out)``.  Fuses GEMM + bias + ReLU per stack slice.
+    """
+    s_count = x.shape[0]
+    batch = x.shape[1]
+    out = np.empty((s_count, batch, w2.shape[2]))
+    for s in range(s_count):
+        h0 = np.maximum(np.dot(x[s], w0[s]) + b0[s], 0.0)
+        h1 = np.maximum(np.dot(h0, w1[s]) + b1[s], 0.0)
+        out[s] = np.dot(h1, w2[s]) + b2[s]
+    return out
+
+
+def mlp3_forward(x, w0, b0, w1, b1, w2, b2):
+    """Training forward: returns ``(h0, h1, out)`` post-ReLU activations.
+
+    The caches feed :func:`mlp3_backward_params` /
+    :func:`mlp3_input_grad`; masking on ``h > 0`` is equivalent to the
+    reference ReLU's pre-activation mask because ``max(z, 0) > 0 ⟺
+    z > 0``.
+    """
+    s_count = x.shape[0]
+    batch = x.shape[1]
+    h0 = np.empty((s_count, batch, w0.shape[2]))
+    h1 = np.empty((s_count, batch, w1.shape[2]))
+    out = np.empty((s_count, batch, w2.shape[2]))
+    for s in range(s_count):
+        h0[s] = np.maximum(np.dot(x[s], w0[s]) + b0[s], 0.0)
+        h1[s] = np.maximum(np.dot(h0[s], w1[s]) + b1[s], 0.0)
+        out[s] = np.dot(h1[s], w2[s]) + b2[s]
+    return h0, h1, out
+
+
+def mlp3_backward_params(x, h0, h1, g_out, w1, w2, gw0, gb0, gw1, gb1, gw2, gb2):
+    """Accumulate parameter gradients for the 3-Linear ReLU MLP.
+
+    ``g_out`` is the loss gradient at the network output.  Gradients
+    are accumulated (``+=``) into the ``g*`` arrays, matching the
+    reference ``backward_params`` contract (the twin-critic path calls
+    this twice into shared buffers).  The input gradient is not formed
+    for the bottom layer.
+    """
+    s_count = x.shape[0]
+    for s in range(s_count):
+        g2 = g_out[s]
+        acc_w2 = gw2[s]
+        acc_w2 += np.dot(np.ascontiguousarray(h1[s].T), g2)
+        acc_b2 = gb2[s]
+        acc_b2 += np.sum(g2, axis=0)
+        g1 = np.dot(g2, np.ascontiguousarray(w2[s].T))
+        g1 = np.where(h1[s] > 0.0, g1, 0.0)
+        acc_w1 = gw1[s]
+        acc_w1 += np.dot(np.ascontiguousarray(h0[s].T), g1)
+        acc_b1 = gb1[s]
+        acc_b1 += np.sum(g1, axis=0)
+        g0 = np.dot(g1, np.ascontiguousarray(w1[s].T))
+        g0 = np.where(h0[s] > 0.0, g0, 0.0)
+        acc_w0 = gw0[s]
+        acc_w0 += np.dot(np.ascontiguousarray(x[s].T), g0)
+        acc_b0 = gb0[s]
+        acc_b0 += np.sum(g0, axis=0)
+
+
+def mlp3_input_grad(g_out, w0, w1, w2, h0, h1):
+    """Input gradient through the 3-Linear ReLU MLP, params untouched.
+
+    The actor step's grad-through-critic: walks ``backward_input`` top
+    down with ReLU masks from the cached activations.
+    """
+    s_count = g_out.shape[0]
+    batch = g_out.shape[1]
+    gx = np.empty((s_count, batch, w0.shape[1]))
+    for s in range(s_count):
+        g1 = np.dot(g_out[s], np.ascontiguousarray(w2[s].T))
+        g1 = np.where(h1[s] > 0.0, g1, 0.0)
+        g0 = np.dot(g1, np.ascontiguousarray(w1[s].T))
+        g0 = np.where(h0[s] > 0.0, g0, 0.0)
+        gx[s] = np.dot(g0, np.ascontiguousarray(w0[s].T))
+    return gx
+
+
+def td_target(rew, done, q_next, gamma):
+    """Batched TD target ``r + gamma * (1 - done) * q_next``.
+
+    ``rew``/``done`` are ``(N, B)``, ``q_next`` is ``(N, B, 1)``.
+    Expression order matches the reference
+    ``rew[:, :, None] + gamma * (1.0 - done[:, :, None]) * q_next``.
+    """
+    n = rew.shape[0]
+    b = rew.shape[1]
+    r3 = rew.reshape(n, b, 1)
+    d3 = done.reshape(n, b, 1)
+    return r3 + gamma * (1.0 - d3) * q_next
+
+
+def mse_loss_grad(pred, target):
+    """Per-slice critic MSE loss and gradient.
+
+    Mirrors ``losses.mse_loss``: ``loss = mean(diff**2)``,
+    ``grad = (2 / size) * diff``.
+    """
+    diff = pred - target
+    n = diff.size
+    loss = np.sum(diff * diff) / n
+    grad = (2.0 / n) * diff
+    return loss, grad
+
+
+def weighted_mse_loss_grad(pred, target, weights):
+    """Per-slice PER-weighted MSE loss and gradient.
+
+    Mirrors ``losses.weighted_mse_loss`` including its expression
+    order: ``mean(w * diff**2)`` and ``(2 / size) * w * diff``.
+    """
+    diff = pred - target
+    n = diff.size
+    w = weights.reshape(diff.shape)
+    loss = np.sum(w * (diff * diff)) / n
+    grad = (2.0 / n) * w * diff
+    return loss, grad
+
+
+def softmax_temp(logits, temperature):
+    """Stacked tempered softmax over the last axis of ``(S, B, F)``.
+
+    Mirrors the engine's actor-step sequence: shift by the row max,
+    ``exp(shifted / temperature)``, normalize.  ``temperature=1.0``
+    reproduces the plain target-action softmax.
+    """
+    s_count = logits.shape[0]
+    batch = logits.shape[1]
+    feat = logits.shape[2]
+    out = np.empty((s_count, batch, feat))
+    for s in range(s_count):
+        row = logits[s]
+        m = np.empty((batch, 1))
+        for b in range(batch):
+            best = row[b, 0]
+            for f in range(1, feat):
+                if row[b, f] > best:
+                    best = row[b, f]
+            m[b, 0] = best
+        e = np.exp((row - m) / temperature)
+        tot = np.sum(e, axis=1).reshape(batch, 1)
+        out[s] = e / tot
+    return out
+
+
+def policy_grad(soft, grad_soft, logits, temperature, coef):
+    """Gumbel-softmax policy gradient plus logit regularizer.
+
+    Mirrors the engine's actor step: ``soft * (grad_soft - dot) / T``
+    with ``dot = sum(grad_soft * soft)`` over the action axis, plus
+    ``coef * logits`` where ``coef = 2 * policy_reg / (B * act_dim)``.
+    """
+    s_count = soft.shape[0]
+    batch = soft.shape[1]
+    feat = soft.shape[2]
+    out = np.empty((s_count, batch, feat))
+    for s in range(s_count):
+        for b in range(batch):
+            dot = 0.0
+            for f in range(feat):
+                dot += grad_soft[s, b, f] * soft[s, b, f]
+            for f in range(feat):
+                out[s, b, f] = (
+                    soft[s, b, f] * (grad_soft[s, b, f] - dot) / temperature
+                    + coef * logits[s, b, f]
+                )
+    return out
+
+
+def adam_step(p, g, m, v, lr, beta1, beta2, eps, bias1, bias2):
+    """Fused Adam update over one raveled parameter tensor.
+
+    Bit-identical operation order to ``optim.Adam.step``:
+    ``m = beta1*m + (1-beta1)*g``; ``v = beta2*v + (1-beta2)*g**2``;
+    ``p -= (lr * (m / bias1)) / (sqrt(v / bias2) + eps)``.
+    The bias corrections are computed by the caller (they depend on the
+    shared step counter ``t``).
+    """
+    m *= beta1
+    m += (1.0 - beta1) * g
+    v *= beta2
+    v += (1.0 - beta2) * g**2
+    p -= lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+
+
+def soft_update(target, source, tau):
+    """Fused Polyak update ``target = (1 - tau) * target + tau * source``.
+
+    Bit-identical operation order to ``Parameter.lerp_``:
+    ``target *= 1 - tau; target += tau * source``.
+    """
+    target *= 1.0 - tau
+    target += tau * source
+
+
+def hierarchy_run(
+    trace,
+    l1_tags,
+    l1_stamp,
+    l1_pref,
+    l1_line_shift,
+    l1_set_mask,
+    l2_tags,
+    l2_stamp,
+    l2_pref,
+    l2_line_shift,
+    l2_set_mask,
+    l3_tags,
+    l3_stamp,
+    l3_pref,
+    l3_line_shift,
+    l3_set_mask,
+    tlb_pages,
+    tlb_stamp,
+    tlb_page_shift,
+    pf_on,
+    pf_keys,
+    pf_kstamp,
+    pf_last,
+    pf_stride,
+    pf_has,
+    pf_conf,
+    pf_line_shift,
+    pf_stream_shift,
+    pf_threshold,
+    pf_degree,
+    tick,
+    counters,
+):
+    """Simulate a whole trace through the dTLB + L1/L2/L3 + prefetcher.
+
+    Array-state replica of ``memsim`` — the OrderedDict LRU sets become
+    ``(num_sets, assoc)`` tag/stamp arrays with a global monotone tick
+    (min-stamp == LRU, insertion at the current tick == MRU), so hit,
+    fill, eviction, demand-touch and prefetch semantics match the
+    reference model access-for-access.  The model is pure integer
+    arithmetic, so counters are *exactly* equal to the reference, not
+    merely close (see ``tests/test_memsim_compiled.py``).
+
+    ``counters`` layout (int64): 0=l1 accesses, 1=l1 misses,
+    2=l2 misses, 3=l3 misses, 4=dtlb misses, 5=prefetches issued,
+    6=l1 prefetch hits, 7=l1 hits.  ``tick`` is a 1-element int64 array
+    carrying the LRU clock across calls.
+    """
+    t = tick[0]
+    l1_assoc = l1_tags.shape[1]
+    l2_assoc = l2_tags.shape[1]
+    l3_assoc = l3_tags.shape[1]
+    tlb_entries = tlb_pages.shape[0]
+    streams = pf_keys.shape[0]
+    for i in range(trace.shape[0]):
+        addr = trace[i]
+
+        # -- dTLB (fully associative, LRU) ---------------------------------
+        page = addr >> tlb_page_shift
+        tlb_hit = -1
+        for w in range(tlb_entries):
+            if tlb_pages[w] == page:
+                tlb_hit = w
+                break
+        if tlb_hit >= 0:
+            tlb_stamp[tlb_hit] = t
+            t += 1
+        else:
+            counters[4] += 1
+            slot = -1
+            for w in range(tlb_entries):
+                if tlb_pages[w] == -1:
+                    slot = w
+                    break
+            if slot < 0:
+                slot = 0
+                for w in range(1, tlb_entries):
+                    if tlb_stamp[w] < tlb_stamp[slot]:
+                        slot = w
+            tlb_pages[slot] = page
+            tlb_stamp[slot] = t
+            t += 1
+
+        # -- L1 demand access ----------------------------------------------
+        counters[0] += 1
+        line1 = addr >> l1_line_shift
+        set1 = line1 & l1_set_mask
+        way1 = -1
+        for w in range(l1_assoc):
+            if l1_tags[set1, w] == line1:
+                way1 = w
+                break
+        if way1 >= 0:
+            if l1_pref[set1, way1] != 0:
+                counters[6] += 1
+                l1_pref[set1, way1] = 0
+            l1_stamp[set1, way1] = t
+            t += 1
+            counters[7] += 1
+        else:
+            counters[1] += 1
+            slot = -1
+            for w in range(l1_assoc):
+                if l1_tags[set1, w] == -1:
+                    slot = w
+                    break
+            if slot < 0:
+                slot = 0
+                for w in range(1, l1_assoc):
+                    if l1_stamp[set1, w] < l1_stamp[set1, slot]:
+                        slot = w
+            l1_tags[set1, slot] = line1
+            l1_stamp[set1, slot] = t
+            l1_pref[set1, slot] = 0
+            t += 1
+
+            # -- L2 on L1 miss ---------------------------------------------
+            line2 = addr >> l2_line_shift
+            set2 = line2 & l2_set_mask
+            way2 = -1
+            for w in range(l2_assoc):
+                if l2_tags[set2, w] == line2:
+                    way2 = w
+                    break
+            if way2 >= 0:
+                l2_pref[set2, way2] = 0
+                l2_stamp[set2, way2] = t
+                t += 1
+            else:
+                counters[2] += 1
+                slot = -1
+                for w in range(l2_assoc):
+                    if l2_tags[set2, w] == -1:
+                        slot = w
+                        break
+                if slot < 0:
+                    slot = 0
+                    for w in range(1, l2_assoc):
+                        if l2_stamp[set2, w] < l2_stamp[set2, slot]:
+                            slot = w
+                l2_tags[set2, slot] = line2
+                l2_stamp[set2, slot] = t
+                l2_pref[set2, slot] = 0
+                t += 1
+
+                # -- L3 on L2 miss -----------------------------------------
+                line3 = addr >> l3_line_shift
+                set3 = line3 & l3_set_mask
+                way3 = -1
+                for w in range(l3_assoc):
+                    if l3_tags[set3, w] == line3:
+                        way3 = w
+                        break
+                if way3 >= 0:
+                    l3_pref[set3, way3] = 0
+                    l3_stamp[set3, way3] = t
+                    t += 1
+                else:
+                    counters[3] += 1
+                    slot = -1
+                    for w in range(l3_assoc):
+                        if l3_tags[set3, w] == -1:
+                            slot = w
+                            break
+                    if slot < 0:
+                        slot = 0
+                        for w in range(1, l3_assoc):
+                            if l3_stamp[set3, w] < l3_stamp[set3, slot]:
+                                slot = w
+                    l3_tags[set3, slot] = line3
+                    l3_stamp[set3, slot] = t
+                    l3_pref[set3, slot] = 0
+                    t += 1
+
+        # -- stride prefetcher observe -------------------------------------
+        if pf_on != 0:
+            pline = addr >> pf_line_shift
+            key = addr >> pf_stream_shift
+            idx = -1
+            for w in range(streams):
+                if pf_keys[w] == key:
+                    idx = w
+                    break
+            fire = False
+            stride = np.int64(0)
+            if idx < 0:
+                slot = -1
+                for w in range(streams):
+                    if pf_keys[w] == -1:
+                        slot = w
+                        break
+                if slot < 0:
+                    slot = 0
+                    for w in range(1, streams):
+                        if pf_kstamp[w] < pf_kstamp[slot]:
+                            slot = w
+                pf_keys[slot] = key
+                pf_kstamp[slot] = t
+                t += 1
+                pf_last[slot] = pline
+                pf_has[slot] = 0
+                pf_stride[slot] = 0
+                pf_conf[slot] = 0
+            else:
+                pf_kstamp[idx] = t
+                t += 1
+                stride = pline - pf_last[idx]
+                if stride != 0:
+                    if pf_has[idx] != 0 and stride == pf_stride[idx]:
+                        pf_conf[idx] += 1
+                    else:
+                        pf_stride[idx] = stride
+                        pf_has[idx] = 1
+                        pf_conf[idx] = 1
+                    pf_last[idx] = pline
+                    if pf_conf[idx] >= pf_threshold:
+                        fire = True
+            if fire:
+                for k in range(1, pf_degree + 1):
+                    pf_addr = (pline + stride * k) << pf_line_shift
+                    counters[5] += 1
+
+                    # prefetch-fill L1 (only if absent; no LRU touch on hit)
+                    fline = pf_addr >> l1_line_shift
+                    fset = fline & l1_set_mask
+                    present = False
+                    for w in range(l1_assoc):
+                        if l1_tags[fset, w] == fline:
+                            present = True
+                            break
+                    if not present:
+                        slot = -1
+                        for w in range(l1_assoc):
+                            if l1_tags[fset, w] == -1:
+                                slot = w
+                                break
+                        if slot < 0:
+                            slot = 0
+                            for w in range(1, l1_assoc):
+                                if l1_stamp[fset, w] < l1_stamp[fset, slot]:
+                                    slot = w
+                        l1_tags[fset, slot] = fline
+                        l1_stamp[fset, slot] = t
+                        l1_pref[fset, slot] = 1
+                        t += 1
+
+                    # prefetch-fill L2
+                    fline = pf_addr >> l2_line_shift
+                    fset = fline & l2_set_mask
+                    present = False
+                    for w in range(l2_assoc):
+                        if l2_tags[fset, w] == fline:
+                            present = True
+                            break
+                    if not present:
+                        slot = -1
+                        for w in range(l2_assoc):
+                            if l2_tags[fset, w] == -1:
+                                slot = w
+                                break
+                        if slot < 0:
+                            slot = 0
+                            for w in range(1, l2_assoc):
+                                if l2_stamp[fset, w] < l2_stamp[fset, slot]:
+                                    slot = w
+                        l2_tags[fset, slot] = fline
+                        l2_stamp[fset, slot] = t
+                        l2_pref[fset, slot] = 1
+                        t += 1
+
+                    # prefetch-fill L3
+                    fline = pf_addr >> l3_line_shift
+                    fset = fline & l3_set_mask
+                    present = False
+                    for w in range(l3_assoc):
+                        if l3_tags[fset, w] == fline:
+                            present = True
+                            break
+                    if not present:
+                        slot = -1
+                        for w in range(l3_assoc):
+                            if l3_tags[fset, w] == -1:
+                                slot = w
+                                break
+                        if slot < 0:
+                            slot = 0
+                            for w in range(1, l3_assoc):
+                                if l3_stamp[fset, w] < l3_stamp[fset, slot]:
+                                    slot = w
+                        l3_tags[fset, slot] = fline
+                        l3_stamp[fset, slot] = t
+                        l3_pref[fset, slot] = 1
+                        t += 1
+    tick[0] = t

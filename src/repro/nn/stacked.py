@@ -46,6 +46,7 @@ __all__ = [
     "stack_sequentials",
     "clip_grad_norm_stacked",
     "stack_adam_states",
+    "mlp3_parameters",
 ]
 
 #: activation layers that are elementwise (or last-axis) and therefore
@@ -251,6 +252,33 @@ def stack_sequentials(nets: Sequence[Sequential]) -> Sequential:
                 f"cannot stack layer type {type(first).__name__} (layer {idx})"
             )
     return Sequential(*layers)
+
+
+def mlp3_parameters(net: Sequential) -> Optional[Tuple[Parameter, ...]]:
+    """Match a stacked 3-Linear ReLU MLP and return its parameter tuple.
+
+    The compiled backend's MLP kernels are specialized to the paper's
+    one topology — ``mlp()`` with an identity head stacks to
+    ``[StackedLinear, ReLU, StackedLinear, ReLU, StackedLinear]`` with
+    biases.  Returns ``(w0, b0, w1, b1, w2, b2)`` when ``net`` has that
+    shape, else ``None`` (callers fall back to the generic numpy path).
+    """
+    layers = list(net)
+    if len(layers) != 5:
+        return None
+    linears = layers[0], layers[2], layers[4]
+    if not all(type(l) is StackedLinear and l.has_bias for l in linears):
+        return None
+    if not all(type(l) is ReLU for l in (layers[1], layers[3])):
+        return None
+    return (
+        linears[0].weight,
+        linears[0].bias,
+        linears[1].weight,
+        linears[1].bias,
+        linears[2].weight,
+        linears[2].bias,
+    )
 
 
 def clip_grad_norm_stacked(

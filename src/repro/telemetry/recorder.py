@@ -96,11 +96,14 @@ class TelemetryRecorder:
         seed: Optional[int] = None,
         config: Optional[Mapping[str, Any]] = None,
         label: str = "",
+        backend: Optional[Mapping[str, Any]] = None,
     ) -> Optional[RunManifest]:
         """Capture and emit the run header; returns it (None if disabled)."""
         if not self.enabled:
             return None
-        record = RunManifest.capture(seed=seed, config=config, label=label)
+        record = RunManifest.capture(
+            seed=seed, config=config, label=label, backend=backend
+        )
         self.sink.emit(record)
         return record
 

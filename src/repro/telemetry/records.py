@@ -93,6 +93,10 @@ class RunManifest:
     config: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
     created_unix: float = 0.0
+    #: Compute-backend description (``ComputeBackend.describe()``): name,
+    #: compiled/jitted flags, numba version, and any fallback reason.
+    #: Defaults empty so pre-backend manifests round-trip unchanged.
+    backend: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = TELEMETRY_SCHEMA_VERSION
 
     @classmethod
@@ -101,11 +105,13 @@ class RunManifest:
         seed: Optional[int] = None,
         config: Optional[Mapping[str, Any]] = None,
         label: str = "",
+        backend: Optional[Mapping[str, Any]] = None,
     ) -> "RunManifest":
         """Snapshot the current commit, host, and configuration.
 
         ``config`` accepts a plain mapping or a dataclass (``MARLConfig``
-        serializes via ``dataclasses.asdict``).
+        serializes via ``dataclasses.asdict``).  ``backend`` is the
+        compute-backend description dict (``ComputeBackend.describe()``).
         """
         if config is not None and dataclasses.is_dataclass(config):
             config = dataclasses.asdict(config)
@@ -116,6 +122,7 @@ class RunManifest:
             config=dict(config) if config is not None else {},
             label=label,
             created_unix=time.time(),
+            backend=dict(backend) if backend is not None else {},
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -94,8 +94,11 @@ def train(
     if telemetry is not None and telemetry.enabled:
         trainer.attach_telemetry(telemetry)
         telemetry.manifest(
-            config=trainer.config, label=f"train/{env_name}/{trainer.name}/{variant}"
+            config=trainer.config,
+            label=f"train/{env_name}/{trainer.name}/{variant}",
+            backend=trainer.backend.describe(),
         )
+        telemetry.counter("backend.selected", 1.0, unit=trainer.backend.name)
     result = RunResult(
         algorithm=trainer.name,
         variant=variant,
@@ -171,7 +174,9 @@ def train_steps(
             seed=prefetch_seed,
             config=trainer.config,
             label=f"train_steps/{env_name}/{trainer.name}/{variant}",
+            backend=trainer.backend.describe(),
         )
+        telemetry.counter("backend.selected", 1.0, unit=trainer.backend.name)
     pipeline: Optional[PrefetchPipeline] = None
     if prefetch:
         pipeline = PrefetchPipeline(trainer, seed=prefetch_seed)
