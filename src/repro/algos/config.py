@@ -66,6 +66,16 @@ class MARLConfig:
     # training, O(m) joint gathers on the fast paths).  None defers to
     # the REPRO_STORAGE environment variable, then agent_major.
     storage: Optional[str] = None
+    # replay dataset service: shard count for the sharded replay server
+    # (1 = in-process mode, bit-identical to the serial loop).  None
+    # defers to the REPRO_REPLAY_SHARDS environment variable, then 1.
+    replay_shards: Optional[int] = None
+    # learner processes pulling mini-batches from the replay service and
+    # publishing versioned parameter snapshots (1 + one shard = serial)
+    learners: int = 1
+    # staleness bound for async parameter broadcast: the rollout actor
+    # re-polls the parameter store every this many vector sweeps
+    param_staleness: int = 1
     # compute backend for the batched update engine: "numpy" (reference,
     # bit-exact vs the scalar loop) or "numba" (fused jitted kernels,
     # tolerance-gated; degrades to numpy with a warning when numba is
@@ -109,6 +119,16 @@ class MARLConfig:
             raise ValueError(
                 f"env_workers must be >= 0, got {self.env_workers}"
             )
+        if self.replay_shards is not None and self.replay_shards < 1:
+            raise ValueError(
+                f"replay_shards must be >= 1, got {self.replay_shards}"
+            )
+        if self.learners < 1:
+            raise ValueError(f"learners must be >= 1, got {self.learners}")
+        if self.param_staleness < 1:
+            raise ValueError(
+                f"param_staleness must be >= 1, got {self.param_staleness}"
+            )
         if self.max_episode_len <= 0:
             raise ValueError(
                 f"max_episode_len must be positive, got {self.max_episode_len}"
@@ -133,6 +153,13 @@ class MARLConfig:
         from ..nn.backend import resolve_backend
 
         return resolve_backend(self.backend)
+
+    @property
+    def resolved_replay_shards(self) -> int:
+        """Concrete shard count after env-var and default fallback."""
+        from ..replay.sharding import resolve_replay_shards
+
+        return resolve_replay_shards(self.replay_shards)
 
     @property
     def warmup(self) -> int:

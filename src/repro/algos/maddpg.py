@@ -309,6 +309,7 @@ class MADDPGTrainer:
         """
         self.telemetry = recorder if recorder is not None else NULL_RECORDER
         self.timer.attach_telemetry(recorder)
+        self.replay.attach_telemetry(recorder)
 
     def attach_prefetcher(self, prefetcher) -> None:
         """Serve update rounds from a background :class:`PrefetchPipeline`.

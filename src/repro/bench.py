@@ -404,6 +404,54 @@ def _run_compiled_backend() -> Dict[str, float]:
     return out
 
 
+def _run_replay_service() -> Dict[str, float]:
+    """Sharded dataset service: pulled rows must be pushed rows, conserved."""
+    from .buffers.transition import JointSchema
+    from .replay import ReplayShardService
+
+    obs_dims, act_dims = [6] * 4, [2] * 4
+    width = JointSchema.from_dims(obs_dims, act_dims).width
+    rng = np.random.default_rng(0)
+    rows = rng.normal(size=(512, width)).astype(np.float64)
+    rows[:, 0] = np.arange(512, dtype=np.float64)  # traceable ids
+    content_ok = True
+    total = 0
+    with ReplayShardService(
+        obs_dims,
+        act_dims,
+        capacity=512,
+        num_shards=2,
+        num_clients=2,
+        max_push=256,
+        max_batch=64,
+        seed=0,
+    ) as service:
+        service.push(rows)
+        start = time.perf_counter()
+        for c in range(2):
+            client = service.pull_client(c)
+            client.refresh_sizes()
+            for _ in range(10):
+                got = client.sample_rows(64)
+                total += got.shape[0]
+                ids = got[:, 0].astype(int)
+                if not (
+                    np.all((ids >= 0) & (ids < 512))
+                    and np.array_equal(got, rows[ids])
+                ):
+                    content_ok = False
+        pull_s = time.perf_counter() - start
+        stats = service.stats()
+        conserved = (
+            sum(s["ingested"] for s in stats) == 512
+            and sum(s["sampled"] for s in stats) == total
+        )
+    return {
+        "rows_conserved": float(content_ok and conserved),
+        "pull_rows_per_second": total / max(pull_s, 1e-12),
+    }
+
+
 def _run_telemetry_overhead() -> Dict[str, float]:
     """Disabled recorder must cost ~nothing on the phase hot path."""
     from .profiling.timers import PhaseTimer
@@ -546,6 +594,18 @@ REGISTRY: Tuple[BenchSpec, ...] = (
         ),
     ),
     BenchSpec(
+        name="replay_service",
+        suite="smoke",
+        kind="inline",
+        description="sharded replay service: cross-process push/pull row conservation",
+        budget_seconds=30.0,
+        runner=_run_replay_service,
+        metrics=(
+            _gate_eq("rows_conserved"),
+            _free("pull_rows_per_second", "rows/s"),
+        ),
+    ),
+    BenchSpec(
         name="telemetry_overhead",
         suite="smoke",
         kind="inline",
@@ -567,6 +627,7 @@ REGISTRY: Tuple[BenchSpec, ...] = (
     _script_spec("bench_storage_arena.py", "storage engine exhibit, smoke geometry"),
     _script_spec("bench_pipeline_overlap.py", "actor-learner overlap exhibit, smoke geometry"),
     _script_spec("bench_compiled_backend.py", "compiled backend exhibit, smoke geometry"),
+    _script_spec("bench_replay_service.py", "sharded replay service exhibit, smoke geometry"),
     # -- pytest exhibit benches (suite: exhibit) ---------------------------
     _pytest_spec("bench_fig2_e2e_breakdown.py", "Figure 2: end-to-end phase breakdown"),
     _pytest_spec("bench_fig3_update_breakdown.py", "Figure 3: update-phase breakdown"),

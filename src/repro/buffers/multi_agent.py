@@ -81,6 +81,16 @@ class MultiAgentReplay:
                 )
             else:
                 self.buffers.append(ReplayBuffer(capacity, o, a, backend=backend))
+        #: times ingest(packed_rows=) degraded to the split-and-copy path
+        self.packed_fallbacks = 0
+        self._telemetry = None
+        self._fallback_reported = False
+
+    def attach_telemetry(self, recorder) -> None:
+        """Report packed-ingest degradations as typed counter records."""
+        if recorder is not None and not recorder.enabled:
+            recorder = None
+        self._telemetry = recorder
 
     @property
     def num_agents(self) -> int:
@@ -189,6 +199,15 @@ class MultiAgentReplay:
                 buf._size = min(buf._size + k, self.capacity)
             self.arena.advance(k)
             return k
+        # prioritized / agent-major configs cannot take the direct ring
+        # write: the rows are split by schema offsets and re-copied per
+        # field.  The degradation is counted (and reported once) instead
+        # of happening invisibly.
+        self.packed_fallbacks += 1
+        if self._telemetry is not None and not self._fallback_reported:
+            self._fallback_reported = True
+            reason = "prioritized" if self.prioritized else self.storage
+            self._telemetry.counter("ingest.packed_fallback", 1.0, unit=reason)
         obs, act, rew, next_obs, done = [], [], [], [], []
         for a, (start, end) in enumerate(self.schema.agent_offsets()):
             block = rows[:, start:end]

@@ -129,3 +129,59 @@ class JointSchema:
             out.append((offset, offset + schema.width))
             offset += schema.width
         return out
+
+    def pack_batch(
+        self,
+        obs: List[np.ndarray],
+        act: List[np.ndarray],
+        rew: List[np.ndarray],
+        next_obs: List[np.ndarray],
+        done: List[np.ndarray],
+    ) -> np.ndarray:
+        """Pack K timesteps of per-agent field arrays into joint rows.
+
+        ``obs[k]`` is ``(K, obs_dim_k)`` etc.; the result is the
+        ``(K, width)`` packed block the arena stores and the replay
+        service ships across process boundaries.
+        """
+        if not (len(obs) == len(act) == len(rew) == len(next_obs) == len(done) == self.num_agents):
+            raise ValueError(f"pack_batch expects {self.num_agents} per-agent arrays")
+        k = np.asarray(rew[0]).shape[0]
+        rows = np.empty((k, self.width), dtype=np.float64)
+        for a, (start, _end) in enumerate(self.agent_offsets()):
+            s = self.agents[a].slices()
+            rows[:, start + s["obs"].start : start + s["obs"].stop] = obs[a]
+            rows[:, start + s["act"].start : start + s["act"].stop] = act[a]
+            rows[:, start + s["rew"].start] = np.asarray(rew[a], dtype=np.float64)
+            rows[:, start + s["next_obs"].start : start + s["next_obs"].stop] = next_obs[a]
+            rows[:, start + s["done"].start] = np.asarray(done[a], dtype=np.float64)
+        return rows
+
+    def split_batch(
+        self, rows: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Inverse of :meth:`pack_batch`: per-agent (obs, act, rew, next_obs, done).
+
+        Mirrors :meth:`~repro.buffers.arena.TransitionArena.split_rows`
+        but needs no arena instance — pull clients split service rows
+        with only the schema in hand.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.width:
+            raise ValueError(
+                f"expected packed rows of shape (K, {self.width}), got {rows.shape}"
+            )
+        out = []
+        for a, (start, end) in enumerate(self.agent_offsets()):
+            block = rows[:, start:end]
+            s = self.agents[a].slices()
+            out.append(
+                (
+                    block[:, s["obs"]],
+                    block[:, s["act"]],
+                    block[:, s["rew"]].ravel(),
+                    block[:, s["next_obs"]],
+                    block[:, s["done"]].ravel(),
+                )
+            )
+        return out

@@ -107,6 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical serial schedule; PER rounds auto-discard via the "
         "priority-epoch guard either way)",
     )
+    train.add_argument(
+        "--replay-shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="shard the replay across S dataset-server processes (pipeline "
+        "mode, with --steps); 1 = in-process mode, bit-identical to the "
+        "serial loop (REPRO_REPLAY_SHARDS overrides)",
+    )
+    train.add_argument(
+        "--learners",
+        type=int,
+        default=1,
+        metavar="L",
+        help="learner processes pulling mini-batches from the replay service "
+        "and publishing versioned parameter snapshots (with --steps; "
+        "1 learner + 1 shard = the serial loop)",
+    )
+    train.add_argument(
+        "--staleness",
+        type=int,
+        default=1,
+        metavar="T",
+        help="async-broadcast staleness bound: the rollout actor re-polls "
+        "the parameter store every T vector sweeps (service mode)",
+    )
     train.add_argument("--save-json", default=None, help="write RunResult JSON here")
     train.add_argument("--checkpoint", default=None, help="write a trainer checkpoint here")
     train.add_argument(
@@ -281,6 +307,70 @@ def _cmd_train_pipeline(args, config: MARLConfig) -> int:
     return 0
 
 
+def _cmd_train_service(args, config: MARLConfig) -> int:
+    """Service-mode training: sharded replay server + L learner processes."""
+    from .envs.factory import make_vector_env, resolve_env_workers
+    from .training.service_loop import train_service
+
+    workers = resolve_env_workers(args.env_workers)
+    shards = config.resolved_replay_shards
+    vec = make_vector_env(
+        args.env,
+        num_agents=args.agents,
+        copies=args.copies,
+        seed=args.seed,
+        workers=workers,
+    )
+    print(
+        f"training {args.algorithm}/{args.env}/{args.agents} agents "
+        f"({args.variant}) for {args.steps} vector steps x {args.copies} copies "
+        f"through the replay service [shards={shards}, learners={config.learners}, "
+        f"staleness={config.param_staleness}]"
+    )
+    trainer = build_trainer(
+        args.algorithm, args.variant, vec.obs_dims, vec.act_dims,
+        config=config, seed=args.seed,
+    )
+    telemetry = _make_telemetry(args.telemetry)
+    try:
+        result = train_service(
+            vec,
+            trainer,
+            args.steps,
+            shards=shards,
+            learners=config.learners,
+            variant=args.variant,
+            env_name=args.env,
+            staleness=config.param_staleness,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+    finally:
+        if hasattr(vec, "close"):
+            vec.close()
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry written to {args.telemetry}")
+    print(
+        f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
+        f"{result.extra['transitions']:.0f} transitions "
+        f"({result.extra['steps_per_second']:.0f} steps/s)"
+    )
+    if "learner_rounds" in result.extra:
+        print(
+            f"service: {result.extra['learner_rounds']:.0f} learner rounds, "
+            f"{result.extra['sampled_rows']:.0f} rows sampled "
+            f"({result.extra['sampled_rows_per_s']:.0f} rows/s aggregate), "
+            f"learner utilization {result.extra['learner_utilization']:.2f}, "
+            f"staleness mean/max {result.extra['staleness_mean']:.1f}/"
+            f"{result.extra['staleness_max']:.0f}"
+        )
+    if args.save_json:
+        result.to_json(args.save_json)
+        print(f"result written to {args.save_json}")
+    return 0
+
+
 def _cmd_train(args) -> int:
     config = MARLConfig(
         batch_size=args.batch_size,
@@ -292,8 +382,13 @@ def _cmd_train(args) -> int:
         backend=args.backend,
         env_workers=args.env_workers if args.env_workers is not None else 0,
         prefetch=args.prefetch,
+        replay_shards=args.replay_shards,
+        learners=args.learners,
+        param_staleness=args.staleness,
     )
     if args.steps is not None:
+        if config.resolved_replay_shards > 1 or config.learners > 1:
+            return _cmd_train_service(args, config)
         return _cmd_train_pipeline(args, config)
     spec = WorkloadSpec(
         algorithm=args.algorithm,

@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..buffers.transition import JointSchema
+from ..shm import attach_unlink_guard, release_segment
 from .environment import MultiAgentEnv
 
 __all__ = ["ParallelVectorEnv", "WorkerCrashError"]
@@ -242,6 +243,9 @@ class ParallelVectorEnv:
         self._shm: Optional[shared_memory.SharedMemory] = shared_memory.SharedMemory(
             create=True, size=nbytes, name=f"{SHM_PREFIX}{os.getpid()}_{id(self):x}"
         )
+        # finalizer guard: the segment unlinks at GC / interpreter exit
+        # even when close() is never reached (crash mid-collection)
+        self._shm_guard = attach_unlink_guard(self._shm)
         flat = np.ndarray((act_n + trans_n + obs_n,), dtype=np.float64, buffer=self._shm.buf)
         flat[:] = 0.0
         self._act_block = flat[:act_n].reshape(k, self._act_total)
@@ -342,12 +346,9 @@ class ParallelVectorEnv:
         if self._shm is not None:
             # drop views before closing the mapping
             self._act_block = self._trans_block = self._obs_block = None
-            self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            release_segment(self._shm, self._shm_guard)
             self._shm = None
+            self._shm_guard = None
 
     def __enter__(self) -> "ParallelVectorEnv":
         return self

@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Union
 
 import numpy as np
 
+from ..nn.backend.kernels import EMPTY_TAG
 from .hierarchy import AccessCounts, HierarchyConfig, MemoryHierarchy
 
 __all__ = ["CompiledMemoryHierarchy", "make_hierarchy"]
@@ -62,15 +63,22 @@ class CompiledMemoryHierarchy:
         self._l3_set_mask = cfg.l3.num_sets - 1
         self._tlb_page_shift = cfg.dtlb.page_bytes.bit_length() - 1
 
-        # per-level state: tag arrays (-1 = empty way), LRU stamps, and
-        # was-prefetched flags
-        self._l1_tags = np.full((cfg.l1.num_sets, cfg.l1.associativity), -1, np.int64)
+        # per-level state: tag arrays (EMPTY_TAG = empty way; -1 is a
+        # real tag when a negative-stride prefetch crosses address 0),
+        # LRU stamps, and was-prefetched flags
+        self._l1_tags = np.full(
+            (cfg.l1.num_sets, cfg.l1.associativity), EMPTY_TAG, np.int64
+        )
         self._l1_stamp = np.zeros_like(self._l1_tags)
         self._l1_pref = np.zeros(self._l1_tags.shape, np.uint8)
-        self._l2_tags = np.full((cfg.l2.num_sets, cfg.l2.associativity), -1, np.int64)
+        self._l2_tags = np.full(
+            (cfg.l2.num_sets, cfg.l2.associativity), EMPTY_TAG, np.int64
+        )
         self._l2_stamp = np.zeros_like(self._l2_tags)
         self._l2_pref = np.zeros(self._l2_tags.shape, np.uint8)
-        self._l3_tags = np.full((cfg.l3.num_sets, cfg.l3.associativity), -1, np.int64)
+        self._l3_tags = np.full(
+            (cfg.l3.num_sets, cfg.l3.associativity), EMPTY_TAG, np.int64
+        )
         self._l3_stamp = np.zeros_like(self._l3_tags)
         self._l3_pref = np.zeros(self._l3_tags.shape, np.uint8)
         self._tlb_pages = np.full(cfg.dtlb.entries, -1, np.int64)
@@ -179,7 +187,7 @@ class CompiledMemoryHierarchy:
     def reset(self) -> None:
         """Invalidate all state and zero counters."""
         for tags in (self._l1_tags, self._l2_tags, self._l3_tags):
-            tags.fill(-1)
+            tags.fill(EMPTY_TAG)
         for arr in (
             self._l1_stamp,
             self._l2_stamp,

@@ -56,6 +56,14 @@ KERNEL_NAMES = (
     "hierarchy_run",
 )
 
+#: Empty-way sentinel for the cache tag arrays in ``hierarchy_run``.
+#: Not ``-1``: a stride prefetcher training on a negative stride near
+#: address zero can fabricate line ``-1``, which the OrderedDict
+#: reference caches like any other tag — so ``-1`` must stay a valid
+#: tag value.  TLB pages and stream keys derive from demand addresses
+#: (always >= 0), so those arrays keep ``-1`` as their sentinel.
+EMPTY_TAG = -(2**62)
+
 
 def mlp3_infer(x, w0, b0, w1, b1, w2, b2):
     """Inference forward through a stacked 3-Linear ReLU MLP (no caches).
@@ -362,7 +370,7 @@ def hierarchy_run(
             counters[1] += 1
             slot = -1
             for w in range(l1_assoc):
-                if l1_tags[set1, w] == -1:
+                if l1_tags[set1, w] == EMPTY_TAG:
                     slot = w
                     break
             if slot < 0:
@@ -391,7 +399,7 @@ def hierarchy_run(
                 counters[2] += 1
                 slot = -1
                 for w in range(l2_assoc):
-                    if l2_tags[set2, w] == -1:
+                    if l2_tags[set2, w] == EMPTY_TAG:
                         slot = w
                         break
                 if slot < 0:
@@ -420,7 +428,7 @@ def hierarchy_run(
                     counters[3] += 1
                     slot = -1
                     for w in range(l3_assoc):
-                        if l3_tags[set3, w] == -1:
+                        if l3_tags[set3, w] == EMPTY_TAG:
                             slot = w
                             break
                     if slot < 0:
@@ -492,7 +500,7 @@ def hierarchy_run(
                     if not present:
                         slot = -1
                         for w in range(l1_assoc):
-                            if l1_tags[fset, w] == -1:
+                            if l1_tags[fset, w] == EMPTY_TAG:
                                 slot = w
                                 break
                         if slot < 0:
@@ -516,7 +524,7 @@ def hierarchy_run(
                     if not present:
                         slot = -1
                         for w in range(l2_assoc):
-                            if l2_tags[fset, w] == -1:
+                            if l2_tags[fset, w] == EMPTY_TAG:
                                 slot = w
                                 break
                         if slot < 0:
@@ -540,7 +548,7 @@ def hierarchy_run(
                     if not present:
                         slot = -1
                         for w in range(l3_assoc):
-                            if l3_tags[fset, w] == -1:
+                            if l3_tags[fset, w] == EMPTY_TAG:
                                 slot = w
                                 break
                         if slot < 0:

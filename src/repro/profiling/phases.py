@@ -42,6 +42,9 @@ __all__ = [
     "PREFETCH_HIT",
     "PREFETCH_MISS",
     "PREFETCH_STALE",
+    "SERVICE_PUSH",
+    "SERVICE_PULL",
+    "PARAM_REFRESH",
     "TOP_LEVEL_PHASES",
     "UPDATE_SUBPHASES",
     "OTHER_SEGMENTS",
@@ -63,6 +66,13 @@ PREFETCH = "prefetch"
 PREFETCH_HIT = f"{PREFETCH}.hit"
 PREFETCH_MISS = f"{PREFETCH}.miss"
 PREFETCH_STALE = f"{PREFETCH}.stale"
+
+#: replay-dataset-service phases (producer side of the push/pull protocol)
+SERVICE_PUSH = "service_push"
+#: learner-side mini-batch pull (inside the service update round)
+SERVICE_PULL = "service_pull"
+#: rollout actor applying a newer published parameter snapshot
+PARAM_REFRESH = "param_refresh"
 
 #: Figure-2-level phases ("other segments" = everything not listed).
 TOP_LEVEL_PHASES = (ACTION_SELECTION, UPDATE_ALL_TRAINERS)

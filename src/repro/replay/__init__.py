@@ -1,0 +1,58 @@
+"""Sharded replay dataset service and multi-learner coordination.
+
+The package breaks the one-process replay ceiling (ROADMAP item 1,
+malib's ``offline_dataset_server`` push/pull design):
+
+* :mod:`repro.replay.sharding` — the shard router and the in-process
+  :class:`ShardedReplay` (S timestep-major arenas behind one dataset
+  API), with shard-aware checkpoints and sharded ↔ single-arena
+  interchange.
+* :mod:`repro.replay.service` — :class:`ReplayShardService`: S shard
+  server processes over one shared-memory segment with a zero-copy push
+  endpoint for rollout producers and per-learner pull endpoints serving
+  one-gather packed mini-batch reads.
+* :mod:`repro.replay.params` — the versioned-snapshot parameter store
+  (:class:`SharedParameterStore`) for async broadcast: learners publish
+  monotonic versions, actors poll under a staleness bound, no lock-step
+  barrier.
+* :mod:`repro.replay.coordinator` — :class:`MultiLearnerCoordinator`:
+  partitions agents across L learner processes, runs injected update
+  rounds off the service, merges parameters and telemetry at stop.
+"""
+
+from .coordinator import MultiLearnerCoordinator, minibatch_from_rows, run_injected_round
+from .params import (
+    ParameterStore,
+    ParameterSubscriber,
+    SharedParameterStore,
+    agent_param_arrays,
+)
+from .service import ReplayShardService, ShardPullClient
+from .sharding import (
+    REPLAY_SHARDS_VAR,
+    SHARD_POLICIES,
+    ShardedReplay,
+    ShardRouter,
+    allocate_proportional,
+    resolve_replay_shards,
+    rows_in_order,
+)
+
+__all__ = [
+    "MultiLearnerCoordinator",
+    "ParameterStore",
+    "REPLAY_SHARDS_VAR",
+    "ParameterSubscriber",
+    "ReplayShardService",
+    "SHARD_POLICIES",
+    "ShardPullClient",
+    "ShardRouter",
+    "ShardedReplay",
+    "SharedParameterStore",
+    "agent_param_arrays",
+    "allocate_proportional",
+    "minibatch_from_rows",
+    "resolve_replay_shards",
+    "rows_in_order",
+    "run_injected_round",
+]

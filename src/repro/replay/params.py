@@ -1,0 +1,269 @@
+"""Versioned-snapshot parameter store for async broadcast.
+
+Learners publish their owned agents' parameter snapshots with a
+monotonically increasing version; rollout actors (and peer learners)
+poll and copy only when a newer version exists — no lock-step barrier
+anywhere.  Two implementations share one protocol:
+
+``publish(partition, arrays) -> version``
+    Overwrite partition ``partition``'s snapshot, bump its version.
+``poll(partition, since) -> (version, arrays | None)``
+    Current version plus a copy of the snapshot iff newer than
+    ``since``.
+
+:class:`ParameterStore` is the in-process (threaded) reference;
+:class:`SharedParameterStore` lays the same state out in one POSIX
+shared-memory segment (version slots + flat parameter blocks) guarded
+by a fork-inherited lock, so forked learner/actor processes see each
+other's snapshots with two memcpys and zero pickling.
+
+The broadcast payload per agent is :func:`agent_param_arrays` — the
+actor and target-actor parameters.  That is exactly the cross-learner
+dependency set of the CTDE update: learner ``l`` computing agent
+``i``'s TD target needs every *other* agent's target actor (and the
+rollout actor needs every agent's live actor); critics never cross
+process boundaries until the final merge.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..shm import create_segment, float_view, release_segment
+
+__all__ = [
+    "PARAM_SHM_PREFIX",
+    "ParameterStore",
+    "ParameterSubscriber",
+    "SharedParameterStore",
+    "agent_param_arrays",
+]
+
+#: recognizable shared-memory name prefix (leak checks key on it)
+PARAM_SHM_PREFIX = "repro_param_"
+
+
+def agent_param_arrays(agent) -> List[np.ndarray]:
+    """One agent's broadcast payload: actor + target-actor parameter values."""
+    return [
+        p.value
+        for p in (*agent.actor.parameters(), *agent.target_actor.parameters())
+    ]
+
+
+def _shapes_of(arrays: Sequence[np.ndarray]) -> List[Tuple[int, ...]]:
+    return [tuple(a.shape) for a in arrays]
+
+
+class ParameterStore:
+    """In-process reference store: P partitions of versioned array lists."""
+
+    def __init__(self, shapes: Sequence[Sequence[Tuple[int, ...]]]) -> None:
+        if not shapes:
+            raise ValueError("ParameterStore needs at least one partition")
+        self._shapes = [list(map(tuple, part)) for part in shapes]
+        self._data = [
+            [np.zeros(shape, dtype=np.float64) for shape in part]
+            for part in self._shapes
+        ]
+        self._versions = [0] * len(self._shapes)
+        self._lock = threading.Lock()
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._shapes)
+
+    def shapes(self, partition: int) -> List[Tuple[int, ...]]:
+        return list(self._shapes[partition])
+
+    def version(self, partition: int) -> int:
+        with self._lock:
+            return self._versions[partition]
+
+    def versions(self) -> List[int]:
+        with self._lock:
+            return list(self._versions)
+
+    def _check(self, partition: int, arrays: Sequence[np.ndarray]) -> None:
+        expected = self._shapes[partition]
+        got = _shapes_of(arrays)
+        if got != expected:
+            raise ValueError(
+                f"partition {partition} shape mismatch: expected {expected}, got {got}"
+            )
+
+    def publish(self, partition: int, arrays: Sequence[np.ndarray]) -> int:
+        self._check(partition, arrays)
+        with self._lock:
+            for dst, src in zip(self._data[partition], arrays):
+                np.copyto(dst, src)
+            self._versions[partition] += 1
+            return self._versions[partition]
+
+    def poll(
+        self, partition: int, since: int = 0
+    ) -> Tuple[int, Optional[List[np.ndarray]]]:
+        with self._lock:
+            version = self._versions[partition]
+            if version <= since:
+                return version, None
+            return version, [a.copy() for a in self._data[partition]]
+
+    def close(self) -> None:  # protocol symmetry with the shared store
+        pass
+
+
+class SharedParameterStore:
+    """The same store over one shared-memory segment (fork-shared).
+
+    Layout: ``P`` float64 version slots, then every partition's arrays
+    flattened back to back.  The lock is a fork-inherited
+    ``multiprocessing.Lock``; a snapshot is two locked memcpys
+    (publish: in, poll: out), so writers never block readers for longer
+    than one partition's copy.
+
+    Construct **before** forking consumers — children inherit the
+    mapping and the lock through fork.
+    """
+
+    def __init__(
+        self,
+        shapes: Sequence[Sequence[Tuple[int, ...]]],
+        name: Optional[str] = None,
+    ) -> None:
+        if not shapes:
+            raise ValueError("SharedParameterStore needs at least one partition")
+        self._shapes = [list(map(tuple, part)) for part in shapes]
+        p = len(self._shapes)
+        self._offsets: List[List[int]] = []
+        offset = p  # version slots occupy the first P floats
+        for part in self._shapes:
+            starts = []
+            for shape in part:
+                starts.append(offset)
+                offset += int(np.prod(shape)) if shape else 1
+            self._offsets.append(starts)
+        self._total_floats = offset
+        if name is None:
+            name = f"{PARAM_SHM_PREFIX}{os.getpid()}_{id(self):x}"
+        self._segment, self._guard = create_segment(name, self._total_floats * 8)
+        flat = float_view(self._segment, self._total_floats)
+        flat[:] = 0.0
+        self._flat = flat
+        self._lock = get_context("fork").Lock()
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._shapes)
+
+    def shapes(self, partition: int) -> List[Tuple[int, ...]]:
+        return list(self._shapes[partition])
+
+    @classmethod
+    def for_agents(cls, agents, name: Optional[str] = None) -> "SharedParameterStore":
+        """Partition per agent, shaped from its broadcast payload."""
+        return cls(
+            [_shapes_of(agent_param_arrays(agent)) for agent in agents], name=name
+        )
+
+    def _views(self, partition: int) -> List[np.ndarray]:
+        out = []
+        for start, shape in zip(self._offsets[partition], self._shapes[partition]):
+            count = int(np.prod(shape)) if shape else 1
+            out.append(self._flat[start : start + count].reshape(shape))
+        return out
+
+    def version(self, partition: int) -> int:
+        with self._lock:
+            return int(self._flat[partition])
+
+    def versions(self) -> List[int]:
+        with self._lock:
+            return [int(v) for v in self._flat[: self.num_partitions]]
+
+    def publish(self, partition: int, arrays: Sequence[np.ndarray]) -> int:
+        got = _shapes_of(arrays)
+        if got != self._shapes[partition]:
+            raise ValueError(
+                f"partition {partition} shape mismatch: expected "
+                f"{self._shapes[partition]}, got {got}"
+            )
+        with self._lock:
+            for dst, src in zip(self._views(partition), arrays):
+                np.copyto(dst, src)
+            version = int(self._flat[partition]) + 1
+            self._flat[partition] = float(version)
+            return version
+
+    def poll(
+        self, partition: int, since: int = 0
+    ) -> Tuple[int, Optional[List[np.ndarray]]]:
+        with self._lock:
+            version = int(self._flat[partition])
+            if version <= since:
+                return version, None
+            return version, [v.copy() for v in self._views(partition)]
+
+    def close(self) -> None:
+        """Unlink the segment (owner only; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._flat = None
+        release_segment(self._segment, self._guard)
+
+
+class ParameterSubscriber:
+    """Applies newer snapshots in place, tracking observed staleness.
+
+    ``targets`` maps partition id → the live arrays to overwrite (e.g.
+    the actual ``Parameter.value`` buffers of a trainer's nets, so a
+    refresh is invisible to the consuming code).  ``staleness`` records,
+    per poll, the largest version lag closed — the series the telemetry
+    layer exports and the configurable bound acts on.
+    """
+
+    def __init__(self, store, targets: Dict[int, List[np.ndarray]]) -> None:
+        for partition, arrays in targets.items():
+            expected = store.shapes(partition)
+            got = _shapes_of(arrays)
+            if got != expected:
+                raise ValueError(
+                    f"subscriber target for partition {partition} has shapes "
+                    f"{got}, store has {expected}"
+                )
+        self._store = store
+        self._targets = targets
+        self.applied: Dict[int, int] = {p: 0 for p in targets}
+        self.staleness: List[int] = []
+        self.refreshes = 0
+        self.polls = 0
+
+    def poll(self) -> int:
+        """Refresh every subscribed partition; returns how many changed."""
+        refreshed = 0
+        lag = 0
+        for partition, arrays in self._targets.items():
+            version, data = self._store.poll(
+                partition, since=self.applied[partition]
+            )
+            lag = max(lag, version - self.applied[partition])
+            if data is not None:
+                for dst, src in zip(arrays, data):
+                    np.copyto(dst, src)
+                self.applied[partition] = version
+                refreshed += 1
+        self.staleness.append(lag)
+        self.polls += 1
+        self.refreshes += refreshed
+        return refreshed

@@ -1,0 +1,97 @@
+"""Shared-memory segment lifecycle helpers.
+
+Every POSIX shared-memory segment the system creates (parallel rollout
+envs, the replay dataset service, the parameter store) is a real file
+under ``/dev/shm`` that outlives the process unless something calls
+``unlink()``.  An exception between segment creation and the owner's
+``close()`` — or an interpreter exit that never reaches ``close()`` —
+used to leak the segment (the resource tracker then cleans it up with a
+noisy warning, or not at all across hard kills).
+
+:func:`create_segment` pairs every segment with a
+:class:`weakref.finalize` guard that unlinks it by *name* when the
+owning object is garbage-collected or the interpreter exits, whichever
+comes first.  The guard:
+
+* never holds a reference to the segment object itself (that would keep
+  it alive forever);
+* is pid-stamped so fork children that inherit the finalizer registry
+  do not unlink a segment the parent still owns (forked workers exit
+  via ``os._exit`` and skip finalizers anyway — the stamp is
+  belt-and-suspenders);
+* is idempotent against the normal ``close()`` path: unlinking an
+  already-unlinked name is a silent no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "attach_unlink_guard",
+    "create_segment",
+    "float_view",
+    "release_segment",
+]
+
+
+def _unlink_by_name(name: str, owner_pid: int) -> None:
+    """Unlink segment ``name`` if this process is its creator.
+
+    Runs from a :class:`weakref.finalize` callback, so it must not
+    reference the original ``SharedMemory`` object — it re-attaches by
+    name and treats an already-gone segment as success.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def attach_unlink_guard(segment: shared_memory.SharedMemory) -> weakref.finalize:
+    """Arm a finalizer that unlinks ``segment`` at GC / interpreter exit."""
+    return weakref.finalize(segment, _unlink_by_name, segment.name, os.getpid())
+
+
+def create_segment(
+    name: str, nbytes: int
+) -> Tuple[shared_memory.SharedMemory, weakref.finalize]:
+    """Create a named segment with its unlink guard already armed."""
+    if nbytes <= 0:
+        raise ValueError(f"segment size must be positive, got {nbytes}")
+    segment = shared_memory.SharedMemory(create=True, size=int(nbytes), name=name)
+    return segment, attach_unlink_guard(segment)
+
+
+def release_segment(
+    segment: shared_memory.SharedMemory, guard: weakref.finalize = None
+) -> None:
+    """Deterministically close + unlink a segment, disarming its guard."""
+    if guard is not None:
+        guard.detach()
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def float_view(
+    segment: shared_memory.SharedMemory, count: int, offset_floats: int = 0
+) -> np.ndarray:
+    """A flat float64 view of ``count`` elements into the segment buffer."""
+    return np.ndarray(
+        (count,), dtype=np.float64, buffer=segment.buf, offset=offset_floats * 8
+    )

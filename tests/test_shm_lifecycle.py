@@ -1,0 +1,115 @@
+"""Shared-memory lifecycle hardening (PR 7 satellite).
+
+Every segment creator (parallel rollout envs, the replay service, the
+parameter store) arms a :func:`repro.shm.attach_unlink_guard` finalizer
+at creation, so ``/dev/shm`` stays clean even when ``close()`` is never
+reached — the failure mode these tests reproduce by exiting child
+interpreters mid-flight.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+from repro.shm import create_segment, release_segment
+
+PREFIXES = ("repro_penv_", "repro_svc_", "repro_param_")
+
+
+def shm_entries() -> set:
+    return {
+        os.path.basename(p)
+        for prefix in PREFIXES
+        for p in glob.glob(f"/dev/shm/{prefix}*")
+    }
+
+
+def run_child(body: str) -> subprocess.CompletedProcess:
+    """Run ``body`` in a fresh interpreter that exits WITHOUT cleanup."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-c", body],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestUnlinkGuard:
+    def test_create_release_roundtrip(self):
+        segment, guard = create_segment("repro_svc_guard_test", 1024)
+        assert os.path.exists("/dev/shm/repro_svc_guard_test")
+        release_segment(segment, guard)
+        assert not os.path.exists("/dev/shm/repro_svc_guard_test")
+        assert not guard.alive  # disarmed, no double unlink at exit
+
+    def test_guard_fires_on_gc(self):
+        segment, guard = create_segment("repro_svc_gc_test", 1024)
+        segment.close()
+        del segment  # finalizer unlinks by name once the object is gone
+        assert not guard.alive or not os.path.exists("/dev/shm/repro_svc_gc_test")
+        guard()  # idempotent: already-unlinked name is a no-op
+        assert not os.path.exists("/dev/shm/repro_svc_gc_test")
+
+    def test_guard_is_owner_pid_scoped(self):
+        segment, _guard = create_segment("repro_svc_pid_test", 1024)
+        try:
+            child = run_child(
+                "from repro.shm import _unlink_by_name\n"
+                # a child passing the parent's pid must refuse to unlink
+                f"_unlink_by_name('repro_svc_pid_test', {os.getpid()})\n"
+            )
+            assert child.returncode == 0, child.stderr
+            assert os.path.exists("/dev/shm/repro_svc_pid_test")
+        finally:
+            release_segment(segment, _guard)
+
+
+class TestNoLeakedSegments:
+    """Interpreter exit without close() leaves no /dev/shm entries."""
+
+    def test_parallel_env_exit_without_close(self):
+        before = shm_entries()
+        child = run_child(
+            "from repro.envs.factory import make_vector_env\n"
+            "vec = make_vector_env('cooperative_navigation', 3, 4, seed=0, workers=2)\n"
+            "vec.reset()\n"
+            "import sys; sys.exit(0)\n"  # no close(): the guard must unlink
+        )
+        assert child.returncode == 0, child.stderr
+        assert shm_entries() <= before
+
+    def test_service_and_param_store_exit_without_close(self):
+        before = shm_entries()
+        child = run_child(
+            "import numpy as np\n"
+            "from repro.replay import ReplayShardService, SharedParameterStore\n"
+            "svc = ReplayShardService([4, 3], [2, 2], capacity=64, num_shards=2,\n"
+            "                         num_clients=2, max_push=16, max_batch=16)\n"
+            "store = SharedParameterStore([[(3, 2)], [(4,)]])\n"
+            "svc.push(np.zeros((8, svc.schema.width)))\n"
+            "import sys; sys.exit(0)\n"
+        )
+        assert child.returncode == 0, child.stderr
+        assert shm_entries() <= before
+
+    def test_parallel_env_close_still_deterministic(self):
+        from repro.envs.factory import make_vector_env
+
+        before = shm_entries()
+        vec = make_vector_env("cooperative_navigation", 3, 4, seed=0, workers=2)
+        try:
+            vec.reset()
+            name = os.path.basename(vec.shm_name)
+            assert name in shm_entries()
+        finally:
+            vec.close()
+        vec.close()  # idempotent
+        assert shm_entries() <= before
