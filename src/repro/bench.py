@@ -452,6 +452,47 @@ def _run_replay_service() -> Dict[str, float]:
     }
 
 
+def _run_serving() -> Dict[str, float]:
+    """Serving tier: batch/single forward parity + response conservation."""
+    from .nn.functional import softmax
+    from .nn.mlp import mlp
+    from .serving import LoadGenerator, PolicyServer, SnapshotStore
+
+    rng = np.random.default_rng(0)
+    n, obs_dim, act_dim = 3, 12, 5
+    actors = [mlp(obs_dim, act_dim, hidden=(32, 32), rng=rng) for _ in range(n)]
+    store = SnapshotStore(actors)
+    store.publish_actors(actors)
+    # snapshot forwards must match the per-agent reference nets bitwise
+    # (numpy path, width-matched batches)
+    snap = store.current()
+    obs = rng.standard_normal((n, 4, obs_dim))
+    parity = 1.0
+    dist = snap.forward_batch(obs)
+    for s in range(n):
+        if not np.array_equal(dist[s], softmax(actors[s](obs[s]))):
+            parity = 0.0
+        one = snap.forward_single(s, obs[s, 0])
+        if not np.array_equal(one, softmax(actors[s](obs[s, :1]))[0]):
+            parity = 0.0
+    server = PolicyServer(
+        store, batch_window_ms=1.0, max_batch=256, max_queue_depth=4096
+    )
+    with server:
+        gen = LoadGenerator(server, num_users=128, seed=1)
+        report = gen.run_closed(8000)
+    conserved = float(
+        report.responses + report.shed == report.requests == 8000
+        and server.served == report.responses
+        and report.version_violations == 0
+    )
+    return {
+        "batch_parity": parity,
+        "responses_conserved": conserved,
+        "throughput_rps": report.throughput,
+    }
+
+
 def _run_telemetry_overhead() -> Dict[str, float]:
     """Disabled recorder must cost ~nothing on the phase hot path."""
     from .profiling.timers import PhaseTimer
@@ -606,6 +647,19 @@ REGISTRY: Tuple[BenchSpec, ...] = (
         ),
     ),
     BenchSpec(
+        name="serving",
+        suite="smoke",
+        kind="inline",
+        description="micro-batched serving: forward parity, response conservation",
+        budget_seconds=20.0,
+        runner=_run_serving,
+        metrics=(
+            _gate_eq("batch_parity"),
+            _gate_eq("responses_conserved"),
+            _free("throughput_rps", "req/s"),
+        ),
+    ),
+    BenchSpec(
         name="telemetry_overhead",
         suite="smoke",
         kind="inline",
@@ -628,6 +682,7 @@ REGISTRY: Tuple[BenchSpec, ...] = (
     _script_spec("bench_pipeline_overlap.py", "actor-learner overlap exhibit, smoke geometry"),
     _script_spec("bench_compiled_backend.py", "compiled backend exhibit, smoke geometry"),
     _script_spec("bench_replay_service.py", "sharded replay service exhibit, smoke geometry"),
+    _script_spec("bench_serving.py", "micro-batched serving exhibit, smoke geometry"),
     # -- pytest exhibit benches (suite: exhibit) ---------------------------
     _pytest_spec("bench_fig2_e2e_breakdown.py", "Figure 2: end-to-end phase breakdown"),
     _pytest_spec("bench_fig3_update_breakdown.py", "Figure 3: update-phase breakdown"),
@@ -839,9 +894,11 @@ def main(args) -> int:
     if args.list:
         for spec in REGISTRY:
             head = spec.headline() or "-"
+            warmup = "yes" if spec.warmup is not None else "no"
             print(
                 f"{spec.name:<28} suite={spec.suite:<8} kind={spec.kind:<7} "
-                f"budget={spec.budget_seconds:>5.0f}s headline={head}"
+                f"budget={spec.budget_seconds:>5.0f}s warmup={warmup:<3} "
+                f"headline={head}"
             )
         return 0
     results = run_suite(args.suite)

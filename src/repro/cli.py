@@ -10,6 +10,9 @@ Commands
 ``variants``   list trainer variants
 ``bench``      run a registered benchmark suite, write BENCH_<suite>.json,
                optionally gate against a baseline (--compare)
+``serve``      drive the micro-batched policy-inference serving tier with
+               simulated concurrent users and print the latency/throughput
+               report
 
 Every command accepts ``--seed`` and prints deterministic, parseable
 output; see ``python -m repro <command> --help`` for knobs.
@@ -221,6 +224,63 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true", help="list registered benchmarks and exit"
     )
+
+    serve = sub.add_parser(
+        "serve", help="micro-batched policy-inference serving under simulated load"
+    )
+    serve.add_argument("--agents", type=int, default=4)
+    serve.add_argument("--obs-dim", type=int, default=24)
+    serve.add_argument("--act-dim", type=int, default=5)
+    serve.add_argument(
+        "--hidden", type=int, nargs="+", default=[128, 128],
+        help="actor hidden widths (the served policy network)",
+    )
+    serve.add_argument(
+        "--users", type=int, default=1000,
+        help="simulated concurrent clients (closed loop: one request in flight each)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=50000,
+        help="total requests for the closed-loop run",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batch coalescing window; 0 = request-at-a-time baseline",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="flush early (and cap the flush) at this many pending requests",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=8192,
+        help="admission control: shed submissions beyond this backlog",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="drop requests still queued after this long instead of serving them",
+    )
+    serve.add_argument(
+        "--open-rate", type=float, default=None, metavar="HZ",
+        help="open loop: issue requests at this fixed rate for --duration "
+        "seconds instead of the closed loop",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=2.0,
+        help="open-loop run length in seconds (with --open-rate)",
+    )
+    serve.add_argument(
+        "--publish-every-ms", type=float, default=None, metavar="MS",
+        help="hot-swap demo: republish a perturbed policy snapshot at this "
+        "period while the load runs",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["numpy", "numba"],
+        default=None,
+        help="compute backend for the batched serving forward "
+        "(numba falls back to numpy when missing)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
 
     report = sub.add_parser("report", help="regenerate headline exhibits as markdown")
     report.add_argument("--output", default=None, help="write markdown here (default: stdout)")
@@ -545,6 +605,97 @@ def _cmd_bench(args) -> int:
     return bench_main(args)
 
 
+def _cmd_serve(args) -> int:
+    import threading
+
+    from .nn.mlp import mlp
+    from .profiling.phases import (
+        SERVE_BATCH_FORWARD,
+        SERVE_FLUSH,
+        SERVE_QUEUE_WAIT,
+    )
+    from .serving import LoadGenerator, PolicyServer, SnapshotStore
+
+    rng = np.random.default_rng(args.seed)
+    hidden = tuple(args.hidden)
+    actors = [
+        mlp(args.obs_dim, args.act_dim, hidden=hidden, rng=rng)
+        for _ in range(args.agents)
+    ]
+    store = SnapshotStore(actors, backend=args.backend)
+    store.publish_actors(actors)
+    server = PolicyServer(
+        store,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth,
+    )
+    mode = (
+        f"open loop at {args.open_rate:.0f} req/s for {args.duration:.1f}s"
+        if args.open_rate is not None
+        else f"closed loop, {args.requests} requests"
+    )
+    print(
+        f"serving {args.agents} agents (obs {args.obs_dim} -> "
+        f"{list(hidden)} -> {args.act_dim} actions), "
+        f"window {args.batch_window_ms:g}ms, max-batch {args.max_batch}, "
+        f"queue {args.max_queue_depth}"
+    )
+    print(f"{args.users} simulated users, {mode}")
+
+    stop_publishing = threading.Event()
+
+    def _republish() -> None:
+        # hot-swap exercise: perturb the live actors and republish on a
+        # fixed cadence while requests stream
+        period = args.publish_every_ms / 1e3
+        while not stop_publishing.wait(period):
+            for actor in actors:
+                for p in actor.parameters():
+                    p.value += rng.standard_normal(p.value.shape) * 1e-4
+            store.publish_actors(actors)
+
+    publisher = None
+    if args.publish_every_ms is not None:
+        publisher = threading.Thread(target=_republish, daemon=True)
+    gen = LoadGenerator(
+        server, num_users=args.users, seed=args.seed, deadline_ms=args.deadline_ms
+    )
+    with server:
+        if publisher is not None:
+            publisher.start()
+        if args.open_rate is not None:
+            report = gen.run_open(args.open_rate, args.duration)
+        else:
+            report = gen.run_closed(args.requests)
+        if publisher is not None:
+            stop_publishing.set()
+            publisher.join()
+    s = report.summary()
+    versions = report.versions
+    print(
+        f"done: {s['duration_s']:.2f}s, {s['throughput_rps']:.0f} req/s, "
+        f"latency p50 {s['latency_p50_ms']:.2f}ms p99 {s['latency_p99_ms']:.2f}ms, "
+        f"shed {s['shed']:.0f}/{s['requests']:.0f}"
+    )
+    observed = f"versions {versions[0]}..{versions[-1]}" if versions else "no versions"
+    print(
+        f"snapshots: {observed} observed, {store.swaps} swaps, "
+        f"per-user version violations {s['version_violations']:.0f}"
+    )
+    timer = server.timer
+    for phase in (SERVE_FLUSH, SERVE_BATCH_FORWARD, SERVE_QUEUE_WAIT):
+        if timer.count(phase):
+            print(
+                f"  {phase:<22} n={timer.count(phase):<7} "
+                f"mean {timer.mean(phase) * 1e3:8.3f}ms  "
+                f"p50 {timer.percentile(phase, 50) * 1e3:8.3f}ms  "
+                f"p99 {timer.percentile(phase, 99) * 1e3:8.3f}ms"
+            )
+    print(f"flushes {server.flushes}, served {server.served}, shed {server.shed}")
+    return 0
+
+
 def _cmd_envs(_args) -> int:
     for name in available_envs():
         env = make(name, num_agents=3, seed=0)
@@ -567,6 +718,7 @@ _COMMANDS = {
     "variants": _cmd_variants,
     "report": _cmd_report,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

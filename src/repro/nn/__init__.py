@@ -54,6 +54,7 @@ from .stacked import (
     StackedLinear,
     clip_grad_norm_stacked,
     mlp3_parameters,
+    single_forward,
     stack_adam_states,
     stack_sequentials,
     stacked_mlp,
@@ -92,6 +93,7 @@ __all__ = [
     "Adam",
     "clip_grad_norm",
     "StackedLinear",
+    "single_forward",
     "stacked_mlp",
     "stack_sequentials",
     "clip_grad_norm_stacked",

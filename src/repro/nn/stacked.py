@@ -44,6 +44,7 @@ __all__ = [
     "StackedLinear",
     "stacked_mlp",
     "stack_sequentials",
+    "single_forward",
     "clip_grad_norm_stacked",
     "stack_adam_states",
     "mlp3_parameters",
@@ -97,6 +98,35 @@ class StackedLinear(Module):
         if bias:
             self.bias = Parameter(np.zeros((num_stacks, out_features)), "bias")
         self._x: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_arrays(
+        cls, weight: np.ndarray, bias: Optional[np.ndarray] = None
+    ) -> "StackedLinear":
+        """Adopt pre-stacked ``(S, in, out)`` weight / ``(S, out)`` bias arrays.
+
+        No copies are made: the caller's arrays become the layer's
+        parameter storage (the policy-snapshot path already owns fresh
+        copies and wants exactly one allocation per publish).
+        """
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 3:
+            raise ValueError(f"weight must be (S, in, out), got shape {weight.shape}")
+        obj = cls.__new__(cls)
+        Module.__init__(obj)
+        obj.num_stacks, obj.in_features, obj.out_features = weight.shape
+        obj.weight = Parameter(weight, "weight")
+        obj.has_bias = bias is not None
+        obj._x = None
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (weight.shape[0], weight.shape[2]):
+                raise ValueError(
+                    f"bias must be {(weight.shape[0], weight.shape[2])}, "
+                    f"got {bias.shape}"
+                )
+            obj.bias = Parameter(bias, "bias")
+        return obj
 
     @classmethod
     def from_layers(cls, layers: Sequence[Linear]) -> "StackedLinear":
@@ -163,6 +193,29 @@ class StackedLinear(Module):
             # in-place: the matmul output is freshly owned, and x + b is
             # bit-identical to x += b
             out += b[:, None, :]
+        return out
+
+    def forward_single(self, x: np.ndarray, s: int) -> np.ndarray:
+        """B=1 straggler fast path: one slice, one matvec, no stacking.
+
+        Serving a lone request through :meth:`forward` would build an
+        ``(S, 1, in)`` broadcast tensor and dispatch the full batched
+        GEMM over every slice; a single user only needs slice ``s``.
+        ``np.matmul`` promotes the 1-D ``x`` to ``(1, in)``, multiplies,
+        and drops the prepended axis again, so the result is
+        bit-identical to row 0 of the batched pass for slice ``s``.
+        Stateless: does not touch the backward cache (``_x``), so a
+        serving thread can straggle through a net the training path is
+        simultaneously differentiating.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1 or x.shape[0] != self.in_features:
+            raise ValueError(
+                f"forward_single expects a ({self.in_features},) row, got {x.shape}"
+            )
+        out = np.matmul(x, self.weight.value[s])
+        if self.has_bias:
+            out += self.bias.value[s]
         return out
 
     def backward(
@@ -252,6 +305,45 @@ def stack_sequentials(nets: Sequence[Sequential]) -> Sequential:
                 f"cannot stack layer type {type(first).__name__} (layer {idx})"
             )
     return Sequential(*layers)
+
+
+def single_forward(net: Sequential, s: int, x: np.ndarray) -> np.ndarray:
+    """One row through slice ``s`` of a stacked network (B=1 fast path).
+
+    The serving tier's straggler short-circuit: a flush holding exactly
+    one request skips the ``(S, 1, dim)`` batched dispatch and walks the
+    stacked net with per-layer matvecs on slice ``s`` only — S× less
+    arithmetic and no temporary stacking.  Bit-identical to
+    ``net(np.broadcast_to(x, (S, 1, dim)))[s, 0]``: the matvec is the
+    same GEMM row the batched pass computes for that slice, and every
+    supported activation is elementwise (or last-axis) so it commutes
+    with slicing.  Stateless — no backward caches are written.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"single_forward expects a 1-D row, got shape {x.shape}")
+    for layer in net:
+        if isinstance(layer, StackedLinear):
+            x = layer.forward_single(x, s)
+        elif isinstance(layer, ReLU):
+            x = np.maximum(x, 0.0)
+        elif isinstance(layer, LeakyReLU):
+            x = np.where(x > 0, x, layer.negative_slope * x)
+        elif isinstance(layer, Tanh):
+            x = np.tanh(x)
+        elif isinstance(layer, Sigmoid):
+            x = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        elif isinstance(layer, Softmax):
+            shifted = x - x.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            x = exp / exp.sum(axis=-1, keepdims=True)
+        elif isinstance(layer, Identity):
+            pass
+        else:
+            raise TypeError(
+                f"single_forward cannot traverse layer type {type(layer).__name__}"
+            )
+    return x
 
 
 def mlp3_parameters(net: Sequential) -> Optional[Tuple[Parameter, ...]]:

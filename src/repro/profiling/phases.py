@@ -45,6 +45,11 @@ __all__ = [
     "SERVICE_PUSH",
     "SERVICE_PULL",
     "PARAM_REFRESH",
+    "SERVE",
+    "SERVE_QUEUE_WAIT",
+    "SERVE_BATCH_FORWARD",
+    "SERVE_FLUSH",
+    "SERVE_SHED",
     "TOP_LEVEL_PHASES",
     "UPDATE_SUBPHASES",
     "OTHER_SEGMENTS",
@@ -73,6 +78,17 @@ SERVICE_PUSH = "service_push"
 SERVICE_PULL = "service_pull"
 #: rollout actor applying a newer published parameter snapshot
 PARAM_REFRESH = "param_refresh"
+
+#: serving-tier phases (batched policy-inference frontend)
+SERVE = "serve"
+#: per-request time from admission to batch drain (the batching cost)
+SERVE_QUEUE_WAIT = f"{SERVE}.queue_wait"
+#: the stacked (N, B, dim) actor forward of one flush
+SERVE_BATCH_FORWARD = f"{SERVE}.batch_forward"
+#: one full flush cycle: drain + assemble + forward + deliver
+SERVE_FLUSH = f"{SERVE}.flush"
+#: requests dropped by admission control or deadline expiry (count)
+SERVE_SHED = f"{SERVE}.shed"
 
 #: Figure-2-level phases ("other segments" = everything not listed).
 TOP_LEVEL_PHASES = (ACTION_SELECTION, UPDATE_ALL_TRAINERS)

@@ -267,3 +267,43 @@ class ParameterSubscriber:
         self.polls += 1
         self.refreshes += refreshed
         return refreshed
+
+    def refresh(self, max_retries: int = 8) -> int:
+        """Poll with a version re-check loop: settle on a stable snapshot.
+
+        :meth:`poll` applies whatever version each partition holds at
+        its own poll instant; under a storm of concurrent publishers the
+        *applied set* can mix partition versions from different walls of
+        the storm.  ``refresh`` re-polls each partition until its
+        version reads the same before and after the copy (bounded by
+        ``max_retries`` — the final attempt's copy is kept regardless,
+        since every individual copy is internally consistent thanks to
+        the store's publish/poll lock).  Per-partition snapshots are
+        therefore never torn, and ``applied`` versions are monotone:
+        the store's versions only grow and a copy is only applied when
+        strictly newer than the version already applied.
+        """
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        refreshed = 0
+        lag = 0
+        for partition, arrays in self._targets.items():
+            applied = self.applied[partition]
+            for _ in range(max_retries):
+                version, data = self._store.poll(partition, since=applied)
+                if data is None:
+                    break
+                for dst, src in zip(arrays, data):
+                    np.copyto(dst, src)
+                self.applied[partition] = version
+                refreshed += 1
+                # re-check: if a publisher landed mid-apply, go around
+                # again so the settled state is the newest version
+                if self._store.version(partition) == version:
+                    break
+                applied = version
+            lag = max(lag, self._store.version(partition) - self.applied[partition])
+        self.staleness.append(lag)
+        self.polls += 1
+        self.refreshes += refreshed
+        return refreshed

@@ -1,0 +1,280 @@
+"""Simulated user populations for the serving tier.
+
+Real deployments of user-facing multi-agent policies see thousands of
+concurrent clients, each submitting one observation at a time.
+:class:`LoadGenerator` reproduces that shape without a thread per user:
+
+* **closed loop** — ``num_users`` logical users each keep exactly one
+  request in flight; the response callback (running on the server's
+  flusher thread) immediately resubmits that user's next request.
+  Offered load self-regulates to the server's capacity, which is the
+  right model for measuring *throughput*.
+* **open loop** — requests are issued at a fixed rate regardless of
+  completions, which is the right model for measuring *overload*: when
+  the rate exceeds capacity the backlog grows until admission control
+  and deadlines shed, and the report shows what the shed/served split
+  and the served-tail latency look like.
+
+The generator records client-observed latency (submit to response) per
+request, the set of policy versions observed, and per-user version
+monotonicity — the hot-swap correctness property that a user never sees
+the policy go backwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = q / 100.0 * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    __slots__ = ("requests", "responses", "shed", "duration", "latencies",
+                 "versions", "version_violations")
+
+    def __init__(self, requests, responses, shed, duration, latencies,
+                 versions, version_violations) -> None:
+        self.requests = requests
+        self.responses = responses
+        self.shed = shed
+        self.duration = duration
+        self.latencies = latencies
+        self.versions = versions
+        self.version_violations = version_violations
+
+    @property
+    def throughput(self) -> float:
+        """Answered requests per second."""
+        return self.responses / self.duration if self.duration > 0 else 0.0
+
+    def latency_p(self, q: float) -> float:
+        """Client-observed latency percentile (seconds) of answered requests."""
+        return _percentile(self.latencies, q)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": float(self.requests),
+            "responses": float(self.responses),
+            "shed": float(self.shed),
+            "duration_s": self.duration,
+            "throughput_rps": self.throughput,
+            "latency_p50_ms": self.latency_p(50.0) * 1e3,
+            "latency_p99_ms": self.latency_p(99.0) * 1e3,
+            "versions_seen": float(len(self.versions)),
+            "version_violations": float(self.version_violations),
+        }
+
+
+class _User:
+    """One simulated client: fixed agent, reusable observation, version watch."""
+
+    __slots__ = ("uid", "agent", "obs", "start", "last_version", "callback")
+
+    def __init__(self, uid: int, agent: int, obs: np.ndarray) -> None:
+        self.uid = uid
+        self.agent = agent
+        self.obs = obs
+        self.start = 0.0
+        self.last_version = 0
+        self.callback = None  # closed-loop: one reusable closure per user
+
+
+class LoadGenerator:
+    """Drives a :class:`~repro.serving.server.PolicyServer` with simulated users.
+
+    Users are assigned to agents round-robin and reuse one random
+    observation vector each (regenerating observations is client-side
+    work that would pollute a server measurement).  For closed-loop
+    runs size the server's ``max_queue_depth`` at or above
+    ``num_users``: a closed-loop user whose request is shed retires
+    rather than retrying, so admission shedding deflates the measured
+    concurrency.
+    """
+
+    def __init__(self, server, num_users: int, seed: int = 0,
+                 deadline_ms: Optional[float] = None) -> None:
+        if num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {num_users}")
+        self.server = server
+        self.deadline_ms = deadline_ms
+        rng = np.random.default_rng(seed)
+        n = server.snapshots.num_agents
+        dim = server.snapshots.obs_dim
+        self._users = [
+            _User(uid, uid % n, rng.standard_normal(dim))
+            for uid in range(num_users)
+        ]
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._remaining = 0
+        self._outstanding = 0
+        self._resubmit = False
+        self._seeding = True
+        self._responses = 0
+        self._shed = 0
+        self._latencies: List[float] = []
+        self._versions = set()
+        self._version_violations = 0
+
+    # -- response path (runs on the flusher thread) -------------------------
+
+    def _on_response(self, user: _User, start: float, response) -> None:
+        # record before the bookkeeping below can set _done: _report
+        # reads these the instant the wait returns
+        if response is not None:
+            self._latencies.append(time.perf_counter() - start)
+            self._versions.add(response.version)
+            if response.version < user.last_version:
+                self._version_violations += 1
+            user.last_version = response.version
+        resubmit = False
+        with self._lock:
+            self._outstanding -= 1
+            if response is None:
+                self._shed += 1
+            else:
+                self._responses += 1
+                if self._resubmit and self._remaining > 0:
+                    self._remaining -= 1
+                    self._outstanding += 1
+                    resubmit = True
+            # once issuance (seeding / the rate loop) is over, zero
+            # outstanding means zero future work: resubmission only
+            # happens from a response, and there are none in flight
+            if self._outstanding == 0 and not self._seeding:
+                self._done.set()
+        if resubmit:
+            user.start = time.perf_counter()
+            self.server.submit(
+                user.uid, user.agent, user.obs,
+                deadline_ms=self.deadline_ms,
+                callback=user.callback,
+            )
+
+    # -- drivers ------------------------------------------------------------
+
+    def run_closed(self, total_requests: int) -> LoadReport:
+        """Closed loop: every user keeps one request in flight."""
+        if total_requests < 1:
+            raise ValueError(f"total_requests must be >= 1, got {total_requests}")
+        self._reset(resubmit=True, remaining=total_requests)
+        for user in self._users:
+            user.callback = user_callback(self, user)
+        started = time.perf_counter()
+        for user in self._users:
+            with self._lock:
+                if self._remaining == 0:
+                    break
+                self._remaining -= 1
+                self._outstanding += 1
+            user.start = time.perf_counter()
+            self.server.submit(
+                user.uid, user.agent, user.obs,
+                deadline_ms=self.deadline_ms,
+                callback=user.callback,
+            )
+        self._finish_seeding()
+        self._done.wait()
+        return self._report(started)
+
+    def run_open(self, rate_hz: float, duration_s: float,
+                 drain_timeout_s: float = 5.0) -> LoadReport:
+        """Open loop: fixed-rate issuance, shedding absorbs the overload."""
+        if rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        total = max(1, int(rate_hz * duration_s))
+        self._reset(resubmit=False, remaining=total)
+        interval = 1.0 / rate_hz
+        started = time.perf_counter()
+        for i in range(total):
+            target = started + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            user = self._users[i % len(self._users)]
+            with self._lock:
+                self._remaining -= 1
+                self._outstanding += 1
+            start = time.perf_counter()
+            self.server.submit(
+                user.uid, user.agent, user.obs,
+                deadline_ms=self.deadline_ms,
+                callback=user_callback(self, user, start),
+            )
+        self._finish_seeding()
+        self._done.wait(drain_timeout_s)
+        return self._report(started)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _finish_seeding(self) -> None:
+        with self._lock:
+            self._seeding = False
+            if self._outstanding == 0:
+                self._done.set()
+
+    def _reset(self, resubmit: bool, remaining: int) -> None:
+        self._done.clear()
+        self._resubmit = resubmit
+        self._remaining = remaining
+        self._outstanding = 0
+        self._seeding = True
+        self._responses = 0
+        self._shed = 0
+        self._latencies = []
+        self._versions = set()
+        self._version_violations = 0
+        for user in self._users:
+            user.last_version = 0
+
+    def _report(self, started: float) -> LoadReport:
+        duration = time.perf_counter() - started
+        with self._lock:
+            pending = self._outstanding
+        return LoadReport(
+            requests=self._responses + self._shed + pending,
+            responses=self._responses,
+            shed=self._shed,
+            duration=duration,
+            latencies=self._latencies,
+            versions=sorted(self._versions),
+            version_violations=self._version_violations,
+        )
+
+
+def user_callback(gen: LoadGenerator, user: _User,
+                  start: Optional[float] = None):
+    """Response callback bound to one user (and optionally one submit time).
+
+    Closed-loop reuses ``user.start`` (exactly one in-flight request per
+    user); open-loop pins the submit instant per request since one user
+    may have several requests in flight.
+    """
+    if start is None:
+        def callback(response):
+            gen._on_response(user, user.start, response)
+    else:
+        def callback(response):
+            gen._on_response(user, start, response)
+    return callback

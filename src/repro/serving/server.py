@@ -1,0 +1,242 @@
+"""The policy-inference frontend: micro-batched serving with shedding.
+
+:class:`PolicyServer` glues the tier together: a
+:class:`~repro.serving.batcher.MicroBatcher` coalesces concurrent user
+requests, a background *flusher* thread drains one batch window at a
+time, answers it with a single stacked forward against the current
+:class:`~repro.serving.snapshot.PolicySnapshot`, and scatters greedy
+actions back through callbacks/futures.  Training hot-swaps policies by
+publishing into the :class:`~repro.serving.snapshot.SnapshotStore`; the
+flusher picks up the new version at its next flush, and every response
+carries the version that answered it.
+
+Overload behavior is *shed, don't queue*: admission refuses work beyond
+``max_queue_depth`` and the flusher drops requests whose deadline
+expired while queued.  Both paths count into ``serve.shed`` and deliver
+``None`` so callers can tell "dropped" from "slow".
+
+Telemetry (all on the shared :class:`~repro.profiling.PhaseTimer`
+spine, with p50/p99 via its sample windows):
+
+* ``serve.queue_wait`` — per request, admission to batch drain
+* ``serve.batch_forward`` — per flush, the stacked forward alone
+* ``serve.flush`` — per flush, drain + assemble + forward + deliver
+* ``serve.shed`` — count of refused/expired requests
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..profiling.phases import (
+    SERVE_BATCH_FORWARD,
+    SERVE_FLUSH,
+    SERVE_QUEUE_WAIT,
+    SERVE_SHED,
+)
+from ..profiling.timers import PhaseTimer
+from .batcher import (
+    MicroBatcher,
+    ServeFuture,
+    ServeRequest,
+    ServeResponse,
+    assemble,
+)
+from .snapshot import SnapshotStore
+
+__all__ = ["PolicyServer"]
+
+
+class PolicyServer:
+    """Micro-batching frontend over a hot-swappable snapshot store.
+
+    ``batch_window_ms=0`` serves request-at-a-time (the unbatched
+    baseline); positive windows trade per-request latency (a request
+    may wait up to one window) for batch width, which is where the
+    throughput comes from.  The serve-phase breakdown lands on
+    ``timer`` (a fresh :class:`PhaseTimer` by default);
+    ``record_waits=False`` skips the per-request queue-wait samples —
+    the one per-request timer touch — for extreme request rates.
+    """
+
+    def __init__(
+        self,
+        snapshots: SnapshotStore,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 256,
+        max_queue_depth: int = 4096,
+        timer: Optional[PhaseTimer] = None,
+        record_waits: bool = True,
+    ) -> None:
+        if batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        self.snapshots = snapshots
+        self.batch_window_ms = batch_window_ms
+        self.timer = timer if timer is not None else PhaseTimer()
+        self.record_waits = record_waits
+        self._batcher = MicroBatcher(
+            num_agents=snapshots.num_agents,
+            max_batch=max_batch,
+            max_queue_depth=max_queue_depth,
+            window=batch_window_ms / 1e3,
+        )
+        # reused flush assembly buffer: steady state allocates nothing
+        self._buffer = np.empty(
+            (snapshots.num_agents, max_batch, snapshots.obs_dim), dtype=np.float64
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+        self.served = 0
+        self.shed = 0
+        self.flushes = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "PolicyServer":
+        if self._started:
+            raise RuntimeError("PolicyServer already started")
+        self.snapshots.current()  # fail fast before accepting requests
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._run, name="serve-flusher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain pending work, then stop the flusher."""
+        if not self._started:
+            return
+        self._batcher.close()
+        self._thread.join()
+        self._thread = None
+        self._started = False
+        for request in self._batcher.drain():  # belt and braces
+            self._shed_one(request)
+
+    def __enter__(self) -> "PolicyServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path -------------------------------------------------------
+
+    def submit(
+        self,
+        user,
+        agent: int,
+        obs: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        callback=None,
+        want_future: bool = False,
+    ) -> Optional[ServeFuture]:
+        """Admit one observation; respond via callback and/or future.
+
+        Returns the :class:`ServeFuture` when ``want_future`` (shed
+        requests resolve it to ``None`` immediately), else ``None``.
+        ``deadline_ms`` bounds total queueing: expire before the flush
+        reaches the request and it is dropped, not answered.
+        """
+        if not self._started:
+            raise RuntimeError("PolicyServer is not running")
+        future = ServeFuture() if want_future else None
+        deadline = (
+            time.perf_counter() + deadline_ms / 1e3
+            if deadline_ms is not None
+            else None
+        )
+        request = ServeRequest(
+            user, agent, obs, deadline=deadline, callback=callback, future=future
+        )
+        if not self._batcher.submit(request):
+            self._count_shed(1)
+        return future
+
+    def queue_depth(self) -> int:
+        return self._batcher.depth()
+
+    # -- flusher ------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            got = self._batcher.take()
+            if got is None:
+                break
+            batches, total = got
+            if total:
+                self._flush(batches, total)
+
+    def _count_shed(self, n: int) -> None:
+        self.shed += n
+        for _ in range(n):
+            self.timer.add(SERVE_SHED, 0.0)
+
+    def _shed_one(self, request: ServeRequest) -> None:
+        self._count_shed(1)
+        request.deliver(None)
+
+    def _flush(self, batches, total: int) -> None:
+        flush_start = time.perf_counter()
+        snapshot = self.snapshots.current()  # pinned for this whole flush
+        # deadline pass: drop what expired while queued
+        for s, batch in enumerate(batches):
+            if any(r.deadline is not None and r.deadline < flush_start
+                   for r in batch):
+                kept = []
+                for r in batch:
+                    if r.deadline is not None and r.deadline < flush_start:
+                        self._shed_one(r)
+                        total -= 1
+                    else:
+                        kept.append(r)
+                batches[s] = kept
+        if total == 0:
+            return
+        timer = self.timer
+        version = snapshot.version
+        if total == 1:
+            # lone request: matvec fast path, no stacking, no padding
+            request = next(r for batch in batches for r in batch)
+            t0 = time.perf_counter()
+            probs = snapshot.forward_single(request.agent, request.obs)
+            t1 = time.perf_counter()
+            action = int(np.argmax(probs))
+            wait = t0 - request.submitted
+            request.deliver(
+                _response(request, action, probs, version, wait)
+            )
+            if self.record_waits:
+                timer.add_span(SERVE_QUEUE_WAIT, max(wait, 0.0))
+            timer.add_span(SERVE_BATCH_FORWARD, t1 - t0)
+        else:
+            x, _width = assemble(batches, snapshot.obs_dim, out=self._buffer)
+            t0 = time.perf_counter()
+            dist = snapshot.forward_batch(x)
+            t1 = time.perf_counter()
+            actions = np.argmax(dist, axis=-1)
+            record = self.record_waits
+            for s, batch in enumerate(batches):
+                acts = actions[s]
+                rows = dist[s]
+                for i, request in enumerate(batch):
+                    wait = t0 - request.submitted
+                    request.deliver(
+                        _response(request, int(acts[i]), rows[i], version, wait)
+                    )
+                    if record:
+                        timer.add_span(SERVE_QUEUE_WAIT, max(wait, 0.0))
+            timer.add_span(SERVE_BATCH_FORWARD, t1 - t0)
+        self.served += total
+        self.flushes += 1
+        timer.add_span(SERVE_FLUSH, time.perf_counter() - flush_start)
+
+
+def _response(request, action, probs, version, wait):
+    return ServeResponse(
+        request.user, request.agent, action, probs, version, max(wait, 0.0)
+    )

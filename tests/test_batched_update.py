@@ -26,6 +26,7 @@ from repro.nn import (
     StackedLinear,
     clip_grad_norm,
     clip_grad_norm_stacked,
+    single_forward,
     stack_adam_states,
     stack_sequentials,
     stacked_mlp,
@@ -397,3 +398,61 @@ class TestStackedSubstrate:
         stacked = stack_sequentials(nets)
         with pytest.raises(ValueError, match="step counter"):
             stack_adam_states(opts, stacked.parameters())
+
+
+class TestSingleRowFastPath:
+    """B=1 serving fast path: matvec per slice, bit-identical to batching."""
+
+    def test_stacked_linear_forward_single_bitwise(self, rng):
+        layers = [Linear(7, 5, rng=rng) for _ in range(4)]
+        stacked = StackedLinear.from_layers(layers)
+        x = rng.normal(size=7)
+        batched = stacked(np.broadcast_to(x, (4, 1, 7)).copy())
+        for s in range(4):
+            np.testing.assert_array_equal(stacked.forward_single(x, s), batched[s, 0])
+
+    def test_single_forward_through_net_bitwise(self, rng):
+        nets = [
+            Sequential(Linear(6, 9, rng=rng), ReLU(), Linear(9, 3, rng=rng))
+            for _ in range(3)
+        ]
+        stacked = stack_sequentials(nets)
+        x = rng.normal(size=6)
+        batched = stacked(np.broadcast_to(x, (3, 1, 6)).copy())
+        for s in range(3):
+            np.testing.assert_array_equal(single_forward(stacked, s, x), batched[s, 0])
+
+    def test_single_forward_skips_backward_cache(self, rng):
+        nets = [Sequential(Linear(4, 3, rng=rng)) for _ in range(2)]
+        stacked = stack_sequentials(nets)
+        single_forward(stacked, 0, rng.normal(size=4))
+        first = stacked[0]
+        assert first._x is None  # stateless: training backward unaffected
+        with pytest.raises(RuntimeError):
+            first.backward(rng.normal(size=(2, 1, 3)))
+
+    def test_from_arrays_adopts_without_copy(self, rng):
+        weight = rng.normal(size=(3, 4, 2))
+        bias = rng.normal(size=(3, 2))
+        layer = StackedLinear.from_arrays(weight, bias)
+        assert layer.weight.value is weight
+        assert layer.bias.value is bias
+        ref = StackedLinear.from_arrays(weight.copy(), bias.copy())
+        x = rng.normal(size=(3, 5, 4))
+        np.testing.assert_array_equal(layer(x), ref(x))
+
+    def test_from_arrays_validates_shapes(self, rng):
+        with pytest.raises(ValueError, match=r"\(S, in, out\)"):
+            StackedLinear.from_arrays(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError, match="bias"):
+            StackedLinear.from_arrays(
+                rng.normal(size=(3, 4, 2)), rng.normal(size=(3, 3))
+            )
+
+    def test_single_forward_rejects_batched_rows(self, rng):
+        nets = [Sequential(Linear(4, 3, rng=rng)) for _ in range(2)]
+        stacked = stack_sequentials(nets)
+        with pytest.raises(ValueError, match="1-D row"):
+            single_forward(stacked, 0, rng.normal(size=(1, 4)))
+        with pytest.raises(ValueError, match="expects a"):
+            stacked[0].forward_single(rng.normal(size=5), 0)

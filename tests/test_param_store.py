@@ -9,9 +9,12 @@ the shared segment with no pickling.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.replay import (
     ParameterStore,
@@ -167,3 +170,142 @@ class TestSubscriber:
         for src_agent, dst_agent in zip(source.agents, sink.agents):
             for p, q in zip(src_agent.actor.parameters(), dst_agent.actor.parameters()):
                 np.testing.assert_array_equal(p.value, q.value)
+
+
+class TestConcurrentVersioning:
+    """Properties the serving tier leans on: monotone versions, no tearing."""
+
+    def test_concurrent_publishers_versions_monotone(self, store):
+        publishers, rounds = 4, 25
+        issued = [[] for _ in range(publishers)]
+
+        def publish(slot):
+            for r in range(rounds):
+                issued[slot].append(store.publish(0, fill(SHAPES[0], float(r))))
+
+        observed = []
+        done = threading.Event()
+
+        def watch():
+            while not done.is_set():
+                observed.append(store.version(0))
+            observed.append(store.version(0))
+
+        watcher = threading.Thread(target=watch)
+        threads = [
+            threading.Thread(target=publish, args=(slot,))
+            for slot in range(publishers)
+        ]
+        watcher.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        done.set()
+        watcher.join()
+        # every publish got a unique, gap-free version...
+        all_issued = sorted(v for per in issued for v in per)
+        assert all_issued == list(range(1, publishers * rounds + 1))
+        # ...each publisher saw its own versions strictly increase...
+        for per in issued:
+            assert per == sorted(per)
+        # ...and no reader ever saw the version go backwards
+        assert observed == sorted(observed)
+        assert observed[-1] == publishers * rounds
+
+    def test_refresh_mid_publish_never_tears(self):
+        """Publishes use version-derived fill values so tearing is visible:
+        a torn copy would mix two bases inside one partition's arrays."""
+        store = ParameterStore(SHAPES)
+        targets = {0: fill(SHAPES[0], 0.0), 1: fill(SHAPES[1], 0.0)}
+        sub = ParameterSubscriber(store, targets)
+        stop = threading.Event()
+        errors = []
+
+        def publisher(partition):
+            base = 0.0
+            while not stop.is_set():
+                base += 1.0
+                store.publish(partition, fill(SHAPES[partition], base))
+
+        threads = [
+            threading.Thread(target=publisher, args=(p,)) for p in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        last_applied = dict(sub.applied)
+        try:
+            for _ in range(300):
+                sub.refresh()
+                for partition, arrays in targets.items():
+                    base = arrays[0].flat[0]
+                    for k, (arr, shape) in enumerate(
+                        zip(arrays, SHAPES[partition])
+                    ):
+                        expected = np.full(shape, base + k)
+                        if not np.array_equal(arr, expected):
+                            errors.append(
+                                f"partition {partition} torn: array {k} is "
+                                f"{arr!r}, base {base}"
+                            )
+                    applied = sub.applied[partition]
+                    if applied < last_applied[partition]:
+                        errors.append(
+                            f"partition {partition} applied version went "
+                            f"backwards: {last_applied[partition]} -> {applied}"
+                        )
+                    last_applied[partition] = applied
+                if errors:
+                    break
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors[0]
+        assert sub.refreshes > 0
+
+    def test_refresh_settles_on_newest_after_storm(self):
+        store = ParameterStore(SHAPES)
+        targets = {0: fill(SHAPES[0], 0.0)}
+        sub = ParameterSubscriber(store, targets)
+        for base in (1.0, 2.0, 3.0):
+            store.publish(0, fill(SHAPES[0], base))
+        assert sub.refresh() >= 1
+        assert sub.applied[0] == 3
+        np.testing.assert_array_equal(targets[0][0], np.full((3, 2), 3.0))
+        assert sub.refresh() == 0  # idempotent when quiet
+        with pytest.raises(ValueError, match="max_retries"):
+            sub.refresh(max_retries=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    publishes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),
+            st.floats(min_value=-100.0, max_value=100.0,
+                      allow_nan=False, allow_subnormal=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_publish_poll_roundtrip_property(publishes):
+    """Any interleaving of publishes: versions count publishes per
+    partition and poll always returns the latest payload, intact."""
+    store = ParameterStore(SHAPES)
+    latest = {}
+    counts = {0: 0, 1: 0}
+    for partition, base in publishes:
+        version = store.publish(partition, fill(SHAPES[partition], base))
+        counts[partition] += 1
+        assert version == counts[partition]
+        latest[partition] = base
+    assert store.versions() == [counts[0], counts[1]]
+    for partition, base in latest.items():
+        version, data = store.poll(partition, since=0)
+        assert version == counts[partition]
+        for k, arr in enumerate(data):
+            np.testing.assert_array_equal(
+                arr, np.full(SHAPES[partition][k], base + k)
+            )

@@ -266,3 +266,104 @@ class TestBreakdowns:
     def test_as_dict_keys(self):
         d = end_to_end_breakdown(self.make_timer(), 10.0).as_dict()
         assert set(d) == {"total_seconds", ACTION_SELECTION, UPDATE_ALL_TRAINERS, "other"}
+
+
+class TestPercentiles:
+    def test_add_records_samples_for_percentiles(self):
+        timer = PhaseTimer()
+        for ms in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            timer.add("phase", ms / 1000.0)
+        assert timer.sample_count("phase") == 10
+        assert timer.percentile("phase", 0.0) == pytest.approx(0.001)
+        assert timer.percentile("phase", 50.0) == pytest.approx(0.0055)
+        assert timer.percentile("phase", 100.0) == pytest.approx(0.010)
+
+    def test_percentile_matches_numpy_interpolation(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = rng.exponential(0.01, size=257)
+        timer = PhaseTimer()
+        for v in values:
+            timer.add("phase", float(v))
+        for q in (1.0, 50.0, 99.0):
+            assert timer.percentile("phase", q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_phase_context_feeds_percentiles(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("outer"):
+                with timer.phase("inner"):
+                    pass
+        assert timer.sample_count("outer") == 3
+        assert timer.sample_count("outer.inner") == 3
+        assert timer.percentile("outer", 99.0) >= timer.percentile("outer.inner", 50.0)
+
+    def test_unrecorded_phase_and_bounds(self):
+        timer = PhaseTimer()
+        assert timer.percentile("ghost", 50.0) == 0.0
+        assert timer.sample_count("ghost") == 0
+        timer.add("one", 0.004)
+        assert timer.percentile("one", 99.0) == pytest.approx(0.004)
+        with pytest.raises(ValueError):
+            timer.percentile("one", 101.0)
+        with pytest.raises(ValueError):
+            timer.percentile("one", -1.0)
+
+    def test_aggregate_add_excluded_from_samples(self):
+        timer = PhaseTimer()
+        timer.add("phase", 0.002)
+        timer.add("phase", 1.0, count=500)  # folded-in aggregate, not one span
+        assert timer.count("phase") == 501
+        assert timer.sample_count("phase") == 1
+        assert timer.percentile("phase", 99.0) == pytest.approx(0.002)
+
+    def test_sample_window_keeps_trailing(self):
+        timer = PhaseTimer(sample_window=8)
+        for i in range(100):
+            timer.add("phase", i / 1000.0)
+        assert timer.sample_count("phase") == 8
+        assert timer.count("phase") == 100
+        # only the trailing 8 (92ms..99ms) survive
+        assert timer.percentile("phase", 0.0) == pytest.approx(0.092)
+        assert timer.percentile("phase", 100.0) == pytest.approx(0.099)
+
+    def test_add_span_records_like_add(self):
+        timer = PhaseTimer()
+        timer.add_span("serve.flush", 0.003)
+        timer.add_span("serve.flush", 0.005)
+        assert timer.total("serve.flush") == pytest.approx(0.008)
+        assert timer.sample_count("serve.flush") == 2
+        with pytest.raises(ValueError):
+            timer.add_span("serve.flush", -0.001)
+
+    def test_summary_shape(self):
+        timer = PhaseTimer()
+        timer.add("b", 0.002)
+        timer.add("a", 0.001)
+        timer.add("a", 0.003)
+        summary = timer.summary()
+        assert list(summary) == ["a", "b"]  # sorted
+        assert set(summary["a"]) == {"total", "count", "mean", "p50", "p99"}
+        assert summary["a"]["total"] == pytest.approx(0.004)
+        assert summary["a"]["count"] == 2
+        assert summary["a"]["mean"] == pytest.approx(0.002)
+        assert summary["a"]["p50"] == pytest.approx(0.002)
+        assert summary["a"]["p99"] >= summary["a"]["p50"]
+
+    def test_merge_carries_samples(self):
+        main, worker = PhaseTimer(), PhaseTimer()
+        main.add("phase", 0.001)
+        worker.add("phase", 0.009)
+        main.merge(worker)
+        assert main.sample_count("phase") == 2
+        assert main.percentile("phase", 100.0) == pytest.approx(0.009)
+
+    def test_reset_clears_samples(self):
+        timer = PhaseTimer()
+        timer.add("phase", 0.005)
+        timer.reset()
+        assert timer.sample_count("phase") == 0
+        assert timer.percentile("phase", 50.0) == 0.0

@@ -1,0 +1,445 @@
+"""Serving tier: snapshots, micro-batching, hot swap, and shedding.
+
+The correctness contract has three legs:
+
+* **Parity** — a snapshot's batched forward is bitwise identical to the
+  per-agent reference nets at the same batch width, and the B=1 fast
+  path is bitwise identical to a width-1 batch.
+* **Hot swap** — every response cites exactly one published snapshot
+  version, versions are in the published range, and no user ever
+  observes the policy going backwards, even while publishers storm.
+* **Shedding** — admission control and deadlines drop requests visibly
+  (``None`` delivery, ``serve.shed`` counter) and the backlog never
+  exceeds the configured depth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import softmax
+from repro.nn.mlp import mlp
+from repro.profiling.phases import SERVE_SHED
+from repro.replay import ParameterStore
+from repro.serving import (
+    LoadGenerator,
+    MicroBatcher,
+    PolicyServer,
+    ServeRequest,
+    SnapshotStore,
+)
+from repro.serving.batcher import assemble
+
+N_AGENTS, OBS_DIM, ACT_DIM = 3, 8, 4
+HIDDEN = (16, 16)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def actors(rng):
+    return [
+        mlp(OBS_DIM, ACT_DIM, hidden=HIDDEN, rng=rng) for _ in range(N_AGENTS)
+    ]
+
+
+@pytest.fixture
+def store(actors):
+    s = SnapshotStore(actors)
+    s.publish_actors(actors)
+    return s
+
+
+def make_server(store, **kwargs):
+    kwargs.setdefault("batch_window_ms", 1.0)
+    kwargs.setdefault("max_batch", 64)
+    kwargs.setdefault("max_queue_depth", 1024)
+    return PolicyServer(store, **kwargs)
+
+
+class TestSnapshotStore:
+    def test_publish_bumps_version_and_swaps(self, actors, store):
+        assert store.version() == 1
+        first = store.current()
+        assert first.version == 1
+        assert store.publish_actors(actors) == 2
+        second = store.current()
+        assert second.version == 2
+        assert second is not first
+        assert store.swaps == 2
+
+    def test_current_before_first_publish_raises(self, actors):
+        empty = SnapshotStore(actors)
+        with pytest.raises(RuntimeError, match="no policy snapshot"):
+            empty.current()
+
+    def test_batched_forward_matches_reference_bitwise(self, actors, store, rng):
+        snap = store.current()
+        x = rng.standard_normal((N_AGENTS, 6, OBS_DIM))
+        dist = snap.forward_batch(x)
+        for s, actor in enumerate(actors):
+            np.testing.assert_array_equal(dist[s], softmax(actor(x[s])))
+
+    def test_single_forward_matches_width1_batch_bitwise(self, actors, store, rng):
+        snap = store.current()
+        obs = rng.standard_normal(OBS_DIM)
+        for s, actor in enumerate(actors):
+            one = snap.forward_single(s, obs)
+            np.testing.assert_array_equal(one, softmax(actor(obs[None, :]))[0])
+            np.testing.assert_array_equal(
+                one, snap.forward_batch(np.broadcast_to(obs, (N_AGENTS, 1, OBS_DIM)))[s, 0]
+            )
+
+    def test_snapshot_isolated_from_training_mutation(self, actors, store, rng):
+        obs = rng.standard_normal(OBS_DIM)
+        before = store.current().forward_single(0, obs)
+        for p in actors[0].parameters():
+            p.value += 100.0  # training keeps optimizing in place
+        np.testing.assert_array_equal(store.current().forward_single(0, obs), before)
+        store.publish_actors(actors)
+        after = store.current().forward_single(0, obs)
+        assert not np.array_equal(after, before)
+
+    def test_publish_shape_mismatch_rejected(self, actors, store):
+        bad = [[np.zeros((2, 2))] for _ in range(N_AGENTS)]
+        with pytest.raises(ValueError, match="shapes"):
+            store.publish_arrays(bad)
+        with pytest.raises(ValueError, match="agents"):
+            store.publish_arrays([])
+
+    def test_refresh_from_parameter_store(self, actors, store, rng):
+        # partition payload = actor + target-actor arrays (the replay
+        # broadcast protocol); serving keeps the actor half
+        actor_shapes = [tuple(p.value.shape) for p in actors[0].parameters()]
+        pstore = ParameterStore([actor_shapes * 2] * N_AGENTS)
+        assert store.refresh_from(pstore) is False  # nothing published yet
+        new_actors = [
+            mlp(OBS_DIM, ACT_DIM, hidden=HIDDEN, rng=rng) for _ in range(N_AGENTS)
+        ]
+        for partition, actor in enumerate(new_actors):
+            arrays = [p.value for p in actor.parameters()]
+            pstore.publish(partition, arrays + [a * 0.5 for a in arrays])
+        assert store.refresh_from(pstore) is True
+        snap = store.current()
+        assert snap.source_versions == (1,) * N_AGENTS
+        obs = rng.standard_normal(OBS_DIM)
+        for s, actor in enumerate(new_actors):
+            np.testing.assert_array_equal(
+                snap.forward_single(s, obs), softmax(actor(obs[None, :]))[0]
+            )
+        assert store.refresh_from(pstore) is False  # no newer versions
+
+    def test_refresh_from_partial_publish_waits_for_all(self, actors, store):
+        actor_shapes = [tuple(p.value.shape) for p in actors[0].parameters()]
+        pstore = ParameterStore([actor_shapes * 2] * N_AGENTS)
+        fresh = SnapshotStore(actors)  # never published directly
+        arrays = [p.value for p in actors[0].parameters()]
+        pstore.publish(0, arrays * 2)
+        assert fresh.refresh_from(pstore) is False  # agents 1..N missing
+        assert fresh.version() == 0
+
+
+class TestMicroBatcher:
+    def test_take_groups_by_agent(self):
+        batcher = MicroBatcher(num_agents=2, max_batch=16, window=0.0)
+        for agent in (0, 1, 0):
+            batcher.submit(ServeRequest(f"u{agent}", agent, np.zeros(3)))
+        batches, total = batcher.take()
+        assert total == 3
+        assert [len(b) for b in batches] == [2, 1]
+        assert batcher.depth() == 0
+
+    def test_max_batch_splits_fifo(self):
+        batcher = MicroBatcher(num_agents=1, max_batch=4, window=0.0)
+        for i in range(10):
+            batcher.submit(ServeRequest(i, 0, np.zeros(3)))
+        sizes, order = [], []
+        for _ in range(3):
+            batches, total = batcher.take()
+            sizes.append(total)
+            order.extend(r.user for r in batches[0])
+        assert sizes == [4, 4, 2]
+        assert order == list(range(10))  # FIFO preserved across splits
+
+    def test_admission_shed_delivers_none(self):
+        batcher = MicroBatcher(num_agents=1, max_batch=8, max_queue_depth=2, window=0.0)
+        delivered = []
+        assert batcher.submit(ServeRequest(0, 0, np.zeros(3))) is True
+        assert batcher.submit(ServeRequest(1, 0, np.zeros(3))) is True
+        shed = ServeRequest(2, 0, np.zeros(3), callback=delivered.append)
+        assert batcher.submit(shed) is False
+        assert delivered == [None]
+        assert batcher.rejected == 1
+        assert batcher.depth() == 2
+
+    def test_window_waits_for_stragglers(self):
+        batcher = MicroBatcher(num_agents=1, max_batch=64, window=0.05)
+        batcher.submit(ServeRequest(0, 0, np.zeros(3)))
+        straggler = threading.Timer(
+            0.01, lambda: batcher.submit(ServeRequest(1, 0, np.zeros(3)))
+        )
+        straggler.start()
+        batches, total = batcher.take()
+        straggler.join()
+        assert total == 2  # the straggler landed inside the window
+
+    def test_full_batch_flushes_before_window(self):
+        batcher = MicroBatcher(num_agents=1, max_batch=2, window=60.0)
+        batcher.submit(ServeRequest(0, 0, np.zeros(3)))
+        batcher.submit(ServeRequest(1, 0, np.zeros(3)))
+        start = time.perf_counter()
+        _batches, total = batcher.take()
+        assert total == 2
+        assert time.perf_counter() - start < 1.0  # did not sit out the window
+
+    def test_close_drains_then_returns_none(self):
+        batcher = MicroBatcher(num_agents=1, max_batch=8, window=60.0)
+        batcher.submit(ServeRequest(0, 0, np.zeros(3)))
+        batcher.close()
+        got = batcher.take()
+        assert got is not None and got[1] == 1
+        assert batcher.take() is None
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(ServeRequest(1, 0, np.zeros(3)))
+
+    def test_take_timeout_on_empty(self):
+        batcher = MicroBatcher(num_agents=1, window=0.0)
+        start = time.perf_counter()
+        assert batcher.take(timeout=0.02) is None
+        assert time.perf_counter() - start >= 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(num_agents=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(num_agents=1, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(num_agents=1, window=-1.0)
+        batcher = MicroBatcher(num_agents=1)
+        with pytest.raises(ValueError, match="agent index"):
+            batcher.submit(ServeRequest(0, 5, np.zeros(3)))
+
+
+class TestAssemble:
+    def test_pads_to_widest_agent(self, rng):
+        reqs = [
+            [ServeRequest(i, 0, rng.standard_normal(3)) for i in range(4)],
+            [ServeRequest(9, 1, rng.standard_normal(3))],
+        ]
+        x, width = assemble(reqs, obs_dim=3)
+        assert x.shape == (2, 4, 3) and width == 4
+        np.testing.assert_array_equal(x[1, 0], reqs[1][0].obs)
+
+    def test_reuses_buffer(self, rng):
+        out = np.empty((1, 8, 3))
+        reqs = [[ServeRequest(0, 0, rng.standard_normal(3))]]
+        x, _ = assemble(reqs, obs_dim=3, out=out)
+        assert x.base is out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            assemble([[], []], obs_dim=3)
+
+
+class TestPolicyServer:
+    def test_responses_match_reference_bitwise(self, actors, store, rng):
+        per_agent = 5
+        obs = rng.standard_normal((N_AGENTS, per_agent, OBS_DIM))
+        # a long window so all requests coalesce into one flush
+        with make_server(store, batch_window_ms=50.0) as server:
+            futures = [
+                [
+                    server.submit(f"u{s}-{i}", s, obs[s, i], want_future=True)
+                    for i in range(per_agent)
+                ]
+                for s in range(N_AGENTS)
+            ]
+            responses = [[f.result(timeout=5.0) for f in row] for row in futures]
+        for s, actor in enumerate(actors):
+            ref = softmax(actor(obs[s]))  # width-matched reference batch
+            for i, resp in enumerate(responses[s]):
+                np.testing.assert_array_equal(resp.probs, ref[i])
+                assert resp.action == int(np.argmax(ref[i]))
+                assert resp.version == store.version()
+                assert resp.agent == s
+
+    def test_single_request_uses_b1_path_bitwise(self, actors, store, rng):
+        obs = rng.standard_normal(OBS_DIM)
+        with make_server(store, batch_window_ms=0.0) as server:
+            resp = server.submit("solo", 1, obs, want_future=True).result(timeout=5.0)
+        np.testing.assert_array_equal(
+            resp.probs, softmax(actors[1](obs[None, :]))[0]
+        )
+
+    def test_hot_swap_versions_traceable_and_monotone(self, actors, store):
+        stop = threading.Event()
+        swaps = []
+
+        def publisher():
+            while not stop.wait(0.002):
+                swaps.append(store.publish_actors(actors))
+
+        thread = threading.Thread(target=publisher)
+        server = make_server(store)
+        with server:
+            thread.start()
+            gen = LoadGenerator(server, num_users=64, seed=3)
+            report = gen.run_closed(4000)
+            stop.set()
+            thread.join()
+        assert report.responses == 4000
+        # every response traces to exactly one published snapshot ...
+        published = set(range(1, store.version() + 1))
+        assert set(report.versions) <= published
+        assert len(report.versions) > 1  # ... and the swaps were observed
+        # ... and no user ever saw the policy move backwards
+        assert report.version_violations == 0
+        assert store.swaps == len(swaps) + 1
+
+    def test_deadline_expired_requests_shed(self, store):
+        with make_server(store, batch_window_ms=30.0) as server:
+            # deadline far inside the batch window: expired by flush time
+            future = server.submit(
+                "late", 0, np.zeros(OBS_DIM), deadline_ms=1.0, want_future=True
+            )
+            assert future.result(timeout=5.0) is None
+            on_time = server.submit("ok", 0, np.zeros(OBS_DIM), want_future=True)
+            assert on_time.result(timeout=5.0) is not None
+        assert server.shed == 1
+        assert server.served == 1
+        assert server.timer.count(SERVE_SHED) == 1
+
+    def test_admission_overload_sheds_and_bounds_queue(self, store):
+        depth = 8
+        submitted = 30
+        with make_server(
+            store, batch_window_ms=100.0, max_batch=1024, max_queue_depth=depth
+        ) as server:
+            futures = [
+                server.submit(i, i % N_AGENTS, np.zeros(OBS_DIM), want_future=True)
+                for i in range(submitted)
+            ]
+            assert server.queue_depth() <= depth
+            shed_now = [f for f in futures if f.done() and f.result() is None]
+            assert len(shed_now) == submitted - depth  # refused synchronously
+            results = [f.result(timeout=5.0) for f in futures]
+        answered = [r for r in results if r is not None]
+        assert len(answered) == depth
+        assert server.shed == submitted - depth
+        assert server.timer.count(SERVE_SHED) == server.shed
+        assert server.served + server.shed == submitted
+
+    def test_stop_drains_pending_requests(self, store):
+        server = make_server(store, batch_window_ms=10_000.0)
+        server.start()
+        future = server.submit("pending", 0, np.zeros(OBS_DIM), want_future=True)
+        server.stop()  # must not strand the queued request
+        assert future.result(timeout=5.0) is not None
+        assert server.served == 1
+
+    def test_lifecycle_errors(self, actors, store):
+        server = make_server(store)
+        with pytest.raises(RuntimeError, match="not running"):
+            server.submit("early", 0, np.zeros(OBS_DIM))
+        server.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+        server.stop()
+        server.stop()  # idempotent
+        unpublished = SnapshotStore(actors)
+        with pytest.raises(RuntimeError, match="no policy snapshot"):
+            PolicyServer(unpublished).start()
+
+    def test_serve_phase_timer_populated(self, store):
+        with make_server(store) as server:
+            gen = LoadGenerator(server, num_users=16, seed=0)
+            gen.run_closed(200)
+        summary = server.timer.summary()
+        for phase in ("serve.flush", "serve.batch_forward", "serve.queue_wait"):
+            assert phase in summary
+            assert summary[phase]["count"] > 0
+            assert summary[phase]["p99"] >= summary[phase]["p50"] >= 0.0
+        assert server.timer.count("serve.queue_wait") == 200
+
+
+class TestLoadGenerator:
+    def test_closed_loop_conserves_requests(self, store):
+        with make_server(store) as server:
+            gen = LoadGenerator(server, num_users=10, seed=0)
+            report = gen.run_closed(300)
+        assert report.requests == 300
+        assert report.responses + report.shed == 300
+        assert len(report.latencies) == report.responses
+        assert report.throughput > 0
+        assert report.latency_p(99.0) >= report.latency_p(50.0)
+
+    def test_closed_loop_fewer_requests_than_users(self, store):
+        with make_server(store) as server:
+            gen = LoadGenerator(server, num_users=20, seed=0)
+            report = gen.run_closed(5)
+        assert report.responses == 5
+
+    def test_open_loop_issues_at_rate(self, store):
+        with make_server(store) as server:
+            gen = LoadGenerator(server, num_users=8, seed=0)
+            report = gen.run_open(rate_hz=2000.0, duration_s=0.1)
+        assert report.requests == 200
+        assert report.shed == 0
+        assert report.responses == 200
+
+    def test_closed_loop_all_shed_terminates(self, store):
+        # deadline 0: every admitted request expires by flush time; users
+        # retire instead of retrying, so the run must still terminate
+        with make_server(store, batch_window_ms=5.0) as server:
+            gen = LoadGenerator(server, num_users=6, seed=0, deadline_ms=0.0)
+            report = gen.run_closed(100)
+        assert report.responses == 0
+        assert report.shed == 6  # one seed round, everyone retired
+        assert server.timer.count(SERVE_SHED) == 6
+
+    def test_validation(self, store):
+        with make_server(store) as server:
+            gen = LoadGenerator(server, num_users=2, seed=0)
+            with pytest.raises(ValueError):
+                LoadGenerator(server, num_users=0)
+            with pytest.raises(ValueError):
+                gen.run_closed(0)
+            with pytest.raises(ValueError):
+                gen.run_open(rate_hz=0.0, duration_s=1.0)
+            with pytest.raises(ValueError):
+                gen.run_open(rate_hz=10.0, duration_s=0.0)
+
+
+class TestServeCLI:
+    def test_serve_command_closed_loop(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", "--agents", "2", "--obs-dim", "6", "--hidden", "8", "8",
+            "--users", "32", "--requests", "400", "--batch-window-ms", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "req/s" in out
+        assert "serve.batch_forward" in out
+        assert "version violations 0" in out
+
+    def test_serve_command_hot_swap_and_open_loop(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", "--agents", "2", "--obs-dim", "6", "--hidden", "8", "8",
+            "--users", "16", "--open-rate", "2000", "--duration", "0.1",
+            "--publish-every-ms", "5", "--deadline-ms", "100",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "open loop" in out
+        assert "swaps" in out

@@ -280,3 +280,29 @@ class TestBenchHarness:
         baseline_names = {r["bench"] for r in baseline["results"]}
         smoke_names = {s.name for s in bench.REGISTRY if s.suite == "smoke"}
         assert baseline_names == smoke_names
+
+    def test_serving_bench_registered(self):
+        from repro import bench
+
+        spec = bench.spec_by_name("serving")
+        assert spec.suite == "smoke"
+        gated = {m.name for m in spec.metrics if m.gate}
+        assert {"batch_parity", "responses_conserved"} <= gated
+        script_names = {s.name for s in bench.REGISTRY}
+        assert "cli_serving" in script_names
+        assert bench.spec_by_name("cli_serving").file == "bench_serving.py"
+
+    def test_bench_list_prints_registry(self, capsys):
+        from repro import bench
+        from repro.cli import main
+
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == len(bench.REGISTRY)  # one row per spec
+        assert all("warmup=" in l for l in lines)
+        serving_rows = [l for l in lines if l.startswith("serving ")]
+        assert len(serving_rows) == 1
+        row = serving_rows[0]
+        assert "smoke" in row and ("warmup=yes" in row or "warmup=no" in row)
+        assert any(l.startswith("cli_serving ") for l in lines)
