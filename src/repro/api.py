@@ -1,0 +1,421 @@
+"""The programmatic facade: one import for the whole reproduction.
+
+Everything the CLI can do is a function here, with the CLI subcommands
+reduced to argument parsing plus a call into this module::
+
+    from repro import api
+
+    result = api.train(cfg, algorithm="matd3", steps=200, copies=8)
+    report, violations = api.bench(suite="smoke", compare=baseline_path)
+    outcome = api.serve(users=500, requests=10_000)
+    summary = api.sweep(api.load_sweep_spec("sweeps/smoke.toml"), "registry/")
+
+:func:`train` routes between the three execution engines exactly like
+``repro train``: episode mode (serial, the paper's characterized loop),
+pipeline mode (``steps`` over vectorized copies, optional prefetch
+overlap), and service mode (sharded replay server + learner processes,
+chosen when the config asks for >1 shard or learner).  :func:`execute_run`
+is the sweep-child entry point: it materializes one
+:class:`~repro.sweep.spec.RunSpec` into a registry run directory.
+
+Functions return data (``RunResult``, report dicts, outcome
+dataclasses) and never call ``sys.exit``; ``verbose=True`` reproduces
+the CLI's progress lines for interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .algos.config import MARLConfig
+from .configio import ResolvedConfig, resolve_config
+from .training.results import RunResult
+
+__all__ = [
+    "ServeOutcome",
+    "bench",
+    "execute_run",
+    "load_sweep_spec",
+    "report_history",
+    "report_registry",
+    "resolve_config",
+    "serve",
+    "sweep",
+    "train",
+]
+
+
+# ---------------------------------------------------------------------------
+# train
+# ---------------------------------------------------------------------------
+
+
+def _make_recorder(telemetry, provenance):
+    """(recorder-or-None, owned) from a path / recorder / None."""
+    if telemetry is None:
+        return None, False
+    if isinstance(telemetry, (str, Path)):
+        from .telemetry import jsonl_recorder
+
+        recorder = jsonl_recorder(str(telemetry))
+        owned = True
+    else:
+        recorder = telemetry
+        owned = False
+    if provenance is not None:
+        recorder.provenance = dict(provenance)
+    return recorder, owned
+
+
+def train(
+    config: Optional[Union[MARLConfig, ResolvedConfig]] = None,
+    *,
+    algorithm: str = "maddpg",
+    env_name: str = "cooperative_navigation",
+    num_agents: int = 3,
+    variant: str = "baseline",
+    episodes: Optional[int] = None,
+    steps: Optional[int] = None,
+    copies: int = 8,
+    seed: int = 0,
+    telemetry=None,
+    provenance: Optional[Mapping[str, str]] = None,
+    progress_every: Optional[int] = None,
+    verbose: bool = False,
+) -> RunResult:
+    """Train one workload cell; returns its :class:`RunResult`.
+
+    ``steps=None`` runs ``episodes`` serial episodes (default 50);
+    ``steps`` set runs that many vector steps over ``copies`` env
+    copies, through the replay service when ``config`` asks for more
+    than one shard or learner.  ``telemetry`` is a JSONL path or a
+    :class:`~repro.telemetry.TelemetryRecorder`; passing a
+    :class:`~repro.configio.ResolvedConfig` (or an explicit
+    ``provenance`` mapping) stamps config-field provenance into the
+    run's telemetry manifest.
+    """
+    if isinstance(config, ResolvedConfig):
+        if provenance is None:
+            provenance = config.provenance
+        config = config.config
+    cfg = config if config is not None else MARLConfig()
+    if episodes is not None and steps is not None:
+        raise ValueError("pass episodes or steps, not both")
+    recorder, owned = _make_recorder(telemetry, provenance)
+    try:
+        if steps is not None:
+            return _train_steps(
+                cfg, algorithm, env_name, num_agents, variant,
+                steps, copies, seed, recorder, verbose,
+            )
+        return _train_episodes(
+            cfg, algorithm, env_name, num_agents, variant,
+            episodes if episodes is not None else 50,
+            seed, recorder, progress_every,
+            verbose,
+        )
+    finally:
+        if owned:
+            recorder.close()
+
+
+def _train_episodes(
+    cfg, algorithm, env_name, num_agents, variant,
+    episodes, seed, recorder, progress_every, verbose,
+) -> RunResult:
+    from .experiments.runner import run_workload
+    from .experiments.workloads import WorkloadSpec
+
+    spec = WorkloadSpec(
+        algorithm=algorithm,
+        env_name=env_name,
+        num_agents=num_agents,
+        variant=variant,
+        episodes=episodes,
+        seed=seed,
+        config=cfg,
+    )
+    if verbose:
+        print(f"training {spec.key} for {episodes} episodes ...")
+    if progress_every is None:
+        progress_every = max(episodes // 5, 1) if verbose else episodes + 1
+    return run_workload(spec, progress_every=progress_every, telemetry=recorder)
+
+
+def _train_steps(
+    cfg, algorithm, env_name, num_agents, variant,
+    steps, copies, seed, recorder, verbose,
+) -> RunResult:
+    from .algos.variants import build_trainer
+    from .envs.factory import make_vector_env, resolve_env_workers
+
+    service = cfg.resolved_replay_shards > 1 or cfg.learners > 1
+    workers = resolve_env_workers(cfg.env_workers)
+    vec = make_vector_env(
+        env_name, num_agents=num_agents, copies=copies, seed=seed,
+        workers=workers,
+    )
+    try:
+        if verbose:
+            detail = (
+                f"through the replay service [shards={cfg.resolved_replay_shards}, "
+                f"learners={cfg.learners}, staleness={cfg.param_staleness}]"
+                if service
+                else f"[{type(vec).__name__}, workers={max(workers, 1)}, "
+                f"prefetch={'on' if cfg.prefetch else 'off'}]"
+            )
+            print(
+                f"training {algorithm}/{env_name}/{num_agents} agents "
+                f"({variant}) for {steps} vector steps x {copies} copies "
+                f"{detail}"
+            )
+        trainer = build_trainer(
+            algorithm, variant, vec.obs_dims, vec.act_dims,
+            config=cfg, seed=seed,
+        )
+        if service:
+            from .training.service_loop import train_service
+
+            return train_service(
+                vec, trainer, steps,
+                shards=cfg.resolved_replay_shards,
+                learners=cfg.learners,
+                variant=variant,
+                env_name=env_name,
+                staleness=cfg.param_staleness,
+                seed=seed,
+                telemetry=recorder,
+            )
+        from .training.loop import train_steps
+
+        return train_steps(
+            vec, trainer, steps,
+            variant=variant,
+            env_name=env_name,
+            prefetch=cfg.prefetch,
+            prefetch_seed=seed,
+            telemetry=recorder,
+        )
+    finally:
+        if hasattr(vec, "close"):
+            vec.close()
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+
+def load_sweep_spec(path: Union[str, Path]):
+    """Load a :class:`~repro.sweep.spec.SweepSpec` from TOML/JSON."""
+    from .sweep import SweepSpec
+
+    return SweepSpec.from_file(path)
+
+
+def execute_run(spec, run_dir: Union[str, Path], telemetry: bool = True) -> RunResult:
+    """Run one sweep cell into its registry directory (child entry point).
+
+    Elastic cores → env workers: a pipeline-mode run granted more than
+    its floor (``spec.cores > 1``) and not already pinned to a worker
+    count spends the extra cores as rollout workers — the PR 4
+    trajectory-equivalence contract keeps that bit-identical.
+    """
+    run_dir = Path(run_dir)
+    cfg = spec.config
+    if spec.steps is not None and spec.cores > 1 and cfg.env_workers == 0:
+        cfg = cfg.scaled(env_workers=spec.cores)
+    result = train(
+        cfg,
+        algorithm=spec.algorithm,
+        env_name=spec.env_name,
+        num_agents=spec.num_agents,
+        variant=spec.variant,
+        episodes=spec.episodes if spec.steps is None else None,
+        steps=spec.steps,
+        copies=spec.copies,
+        seed=spec.seed,
+        telemetry=str(run_dir / "telemetry.jsonl") if telemetry else None,
+    )
+    result.to_json(str(run_dir / "result.json"))
+    return result
+
+
+def sweep(
+    spec,
+    registry_root: Union[str, Path],
+    max_workers: Optional[int] = None,
+    total_cores: Optional[int] = None,
+    telemetry: bool = True,
+    verbose: bool = False,
+):
+    """Expand and execute a sweep; returns its
+    :class:`~repro.sweep.runner.SweepOutcome`.
+
+    ``spec`` is a :class:`~repro.sweep.spec.SweepSpec` or a path to one.
+    Timeout and retry policy come from the spec (``timeout_s``,
+    ``max_attempts``); pool bounds from the arguments.
+    """
+    from .sweep import RunRegistry, SweepRunner, SweepSpec
+
+    if not isinstance(spec, SweepSpec):
+        spec = load_sweep_spec(spec)
+    registry = RunRegistry(registry_root)
+    runner = SweepRunner(
+        registry,
+        max_workers=max_workers,
+        total_cores=total_cores,
+        timeout_s=spec.timeout_s,
+        max_attempts=spec.max_attempts,
+        telemetry=telemetry,
+    )
+    return runner.run(spec.expand(), verbose=verbose)
+
+
+# ---------------------------------------------------------------------------
+# bench / report
+# ---------------------------------------------------------------------------
+
+
+def bench(
+    suite: str = "smoke",
+    output: Optional[Union[str, Path]] = None,
+    compare: Optional[Union[str, Path]] = None,
+    verbose: bool = False,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Run a registered bench suite; returns ``(report, violations)``.
+
+    ``violations`` collects failed benches plus — when ``compare`` names
+    a baseline report — gated-metric regressions beyond tolerance
+    (empty list = pass, the ``repro bench`` exit-0 condition).
+    """
+    from . import bench as bench_mod
+
+    results = bench_mod.run_suite(suite, verbose=verbose)
+    out = (
+        Path(output)
+        if output is not None
+        else bench_mod._REPO_ROOT / f"BENCH_{suite}.json"
+    )
+    report = bench_mod.write_report(suite, results, out)
+    violations = [
+        f"{r.name}: failed ({r.error})" for r in results if not r.ok
+    ]
+    if compare is not None:
+        baseline = bench_mod.load_report(Path(compare))
+        violations.extend(bench_mod.compare_reports(report, baseline))
+    return report, violations
+
+
+def report_history(
+    source: Union[str, Path, Sequence[Union[str, Path]]],
+    suite: Optional[str] = None,
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Render cross-commit bench trajectories (see ``repro report --history``)."""
+    from .sweep.report import load_history, render_history
+
+    return render_history(load_history(source, suite=suite), metrics=metrics)
+
+
+def report_registry(root: Union[str, Path]) -> str:
+    """Render a sweep registry summary (see ``repro report --registry``)."""
+    from .sweep.report import render_registry
+
+    return render_registry(root)
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeOutcome:
+    """Load report plus the served stack, for inspection after the run."""
+
+    report: Any  # serving.LoadReport
+    server: Any  # serving.PolicyServer (stopped)
+    store: Any  # serving.SnapshotStore
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        return self.report.summary()
+
+
+def serve(
+    *,
+    agents: int = 4,
+    obs_dim: int = 24,
+    act_dim: int = 5,
+    hidden: Sequence[int] = (128, 128),
+    users: int = 1000,
+    requests: int = 50_000,
+    batch_window_ms: float = 2.0,
+    max_batch: int = 1024,
+    max_queue_depth: int = 8192,
+    deadline_ms: Optional[float] = None,
+    open_rate: Optional[float] = None,
+    duration: float = 2.0,
+    publish_every_ms: Optional[float] = None,
+    backend: Optional[str] = None,
+    seed: int = 0,
+) -> ServeOutcome:
+    """Drive the policy-inference serving tier under simulated load.
+
+    Closed loop (``requests`` total) by default; ``open_rate`` switches
+    to a fixed-rate open loop for ``duration`` seconds.
+    ``publish_every_ms`` republishes a perturbed snapshot on a cadence
+    to exercise hot swaps while requests stream.
+    """
+    import threading
+
+    import numpy as np
+
+    from .nn.mlp import mlp
+    from .serving import LoadGenerator, PolicyServer, SnapshotStore
+
+    rng = np.random.default_rng(seed)
+    actors = [
+        mlp(obs_dim, act_dim, hidden=tuple(hidden), rng=rng)
+        for _ in range(agents)
+    ]
+    store = SnapshotStore(actors, backend=backend)
+    store.publish_actors(actors)
+    server = PolicyServer(
+        store,
+        batch_window_ms=batch_window_ms,
+        max_batch=max_batch,
+        max_queue_depth=max_queue_depth,
+    )
+    stop_publishing = threading.Event()
+
+    def _republish() -> None:
+        period = publish_every_ms / 1e3
+        while not stop_publishing.wait(period):
+            for actor in actors:
+                for p in actor.parameters():
+                    p.value += rng.standard_normal(p.value.shape) * 1e-4
+            store.publish_actors(actors)
+
+    publisher = (
+        threading.Thread(target=_republish, daemon=True)
+        if publish_every_ms is not None
+        else None
+    )
+    gen = LoadGenerator(
+        server, num_users=users, seed=seed, deadline_ms=deadline_ms
+    )
+    with server:
+        if publisher is not None:
+            publisher.start()
+        if open_rate is not None:
+            report = gen.run_open(open_rate, duration)
+        else:
+            report = gen.run_closed(requests)
+        if publisher is not None:
+            stop_publishing.set()
+            publisher.join()
+    return ServeOutcome(report=report, server=server, store=store)

@@ -524,6 +524,52 @@ def _run_telemetry_overhead() -> Dict[str, float]:
     }
 
 
+def _run_sweep_registry() -> Dict[str, float]:
+    """Tiny sweep with one crashing cell: isolation + registry integrity."""
+    import dataclasses
+    import tempfile
+
+    from .sweep import RunRegistry, SweepRunner, SweepSpec
+    from .sweep.report import render_registry
+
+    spec = SweepSpec.from_dict(
+        {
+            "name": "bench-smoke",
+            "base": {
+                "episodes": 1,
+                "batch_size": 16,
+                "buffer_capacity": 128,
+                "update_every": 10,
+                "max_episode_len": 10,
+            },
+            "grid": {"algorithm": ["maddpg", "matd3"]},
+            "cells": [{"env": "no_such_env"}],
+        }
+    )
+    with tempfile.TemporaryDirectory() as root:
+        registry = RunRegistry(root)
+        runner = SweepRunner(registry, max_workers=2, telemetry=False)
+        outcome = runner.run(spec.expand())
+        statuses = sorted(outcome.statuses.values())
+        isolated = float(
+            outcome.total_runs == 3 and statuses == ["failed", "ok", "ok"]
+        )
+        rebuilt = RunRegistry.load(root, rebuild=True)
+        strip = lambda r: dataclasses.replace(r, recorded_unix=0.0)
+        key = lambda r: (r.run_id, r.attempt)
+        round_trip = float(
+            sorted(map(strip, rebuilt.records), key=key)
+            == sorted(map(strip, registry.records), key=key)
+        )
+        renders = float(render_registry(registry).startswith("registry "))
+    return {
+        "crash_isolated": isolated,
+        "registry_round_trip": round_trip,
+        "report_renders": renders,
+        "runs_per_second": outcome.total_runs / max(outcome.wall_seconds, 1e-12),
+    }
+
+
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
@@ -675,6 +721,20 @@ REGISTRY: Tuple[BenchSpec, ...] = (
             _free("enabled_overhead_ratio", "x", "lower"),
         ),
     ),
+    BenchSpec(
+        name="sweep_registry",
+        suite="smoke",
+        kind="inline",
+        description="sweep runner: crash isolation + registry rebuild round-trip",
+        budget_seconds=60.0,
+        runner=_run_sweep_registry,
+        metrics=(
+            _gate_eq("crash_isolated"),
+            _gate_eq("registry_round_trip"),
+            _gate_eq("report_renders"),
+            _free("runs_per_second", "runs/s"),
+        ),
+    ),
     # -- --smoke-capable bench scripts (suite: ci) -------------------------
     _script_spec("bench_fastpath_sampling.py", "fast-path sampling exhibit, smoke geometry"),
     _script_spec("bench_batched_update.py", "stacked-agent update exhibit, smoke geometry"),
@@ -683,6 +743,7 @@ REGISTRY: Tuple[BenchSpec, ...] = (
     _script_spec("bench_compiled_backend.py", "compiled backend exhibit, smoke geometry"),
     _script_spec("bench_replay_service.py", "sharded replay service exhibit, smoke geometry"),
     _script_spec("bench_serving.py", "micro-batched serving exhibit, smoke geometry"),
+    _script_spec("bench_sweep.py", "sweep orchestration exhibit, smoke geometry"),
     # -- pytest exhibit benches (suite: exhibit) ---------------------------
     _pytest_spec("bench_fig2_e2e_breakdown.py", "Figure 2: end-to-end phase breakdown"),
     _pytest_spec("bench_fig3_update_breakdown.py", "Figure 3: update-phase breakdown"),
@@ -819,6 +880,8 @@ def write_report(suite: str, results: List[BenchResult], path: Path) -> Dict[str
         "suite": suite,
         "git_sha": git_sha(),
         "platform": platform_fingerprint(),
+        # generation ordering key for `repro report --history`
+        "created_unix": time.time(),
         "results": [r.to_dict() for r in results],
     }
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -13,6 +13,17 @@ Commands
 ``serve``      drive the micro-batched policy-inference serving tier with
                simulated concurrent users and print the latency/throughput
                report
+``sweep``      expand a declarative experiment spec (TOML/JSON) and run
+               every cell concurrently into a run registry
+``report``     regenerate headline exhibits as markdown (default), render
+               cross-commit bench trajectories (--history), or summarize a
+               sweep registry (--registry)
+
+Every subcommand is a thin wrapper over :mod:`repro.api`; training
+configuration resolves through :func:`repro.configio.resolve_config`
+with the precedence chain **CLI flag > ``REPRO_<FIELD>`` env var >
+``--spec`` file > defaults**, and the per-field provenance of that
+resolution is stamped into the run's telemetry manifest.
 
 Every command accepts ``--seed`` and prints deterministic, parseable
 output; see ``python -m repro <command> --help`` for knobs.
@@ -22,20 +33,59 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from .algos.config import MARLConfig
 from .algos.variants import VARIANTS, build_trainer
+from .configio import resolve_config
 from .envs.registry import available_envs, make
 from .experiments.microbench import fill_replay, time_sampler_round
-from .experiments.runner import run_workload
-from .experiments.workloads import WorkloadSpec
 from .profiling.breakdown import end_to_end_breakdown, update_breakdown
 from .profiling.timers import PhaseTimer
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_config_flags(parser, *, backends=True) -> None:
+    """Flags that map 1:1 onto MARLConfig fields.
+
+    Every default is ``None`` — "flag not given" — so the resolver can
+    tell a real CLI override from silence and record honest provenance.
+    """
+    parser.add_argument(
+        "--fast-path",
+        action="store_true",
+        default=None,
+        dest="fast_path",
+        help="use the vectorized sampling engine (equivalent draws, batched execution)",
+    )
+    parser.add_argument(
+        "--batched-update",
+        action="store_true",
+        default=None,
+        dest="batched_update",
+        help="run update rounds through the stacked-agent batched engine "
+        "(homogeneous agents only; numerically equivalent to the scalar loop)",
+    )
+    parser.add_argument(
+        "--storage",
+        choices=["agent_major", "timestep_major"],
+        default=None,
+        help="replay storage engine: agent_major (baseline N dense rings) or "
+        "timestep_major (shared packed arena; bit-identical training); "
+        "REPRO_STORAGE overrides the default",
+    )
+    if backends:
+        parser.add_argument(
+            "--backend",
+            choices=["numpy", "numba"],
+            default=None,
+            help="compute backend for the batched update engine: numpy "
+            "(reference) or numba (fused jitted kernels; falls back to numpy "
+            "with a warning when numba is missing); REPRO_BACKEND overrides "
+            "the default",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,36 +101,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--agents", type=int, default=3)
     train.add_argument("--variant", default="baseline")
     train.add_argument("--episodes", type=int, default=50)
-    train.add_argument("--batch-size", type=int, default=64)
-    train.add_argument("--buffer", type=int, default=8192)
-    train.add_argument("--update-every", type=int, default=25)
+    train.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="TOML/JSON config spec; its [config] table seeds the "
+        "resolution chain (CLI > REPRO_* env > spec file > defaults)",
+    )
+    train.add_argument(
+        "--batch-size", type=int, default=None, dest="batch_size"
+    )
+    train.add_argument("--buffer", type=int, default=None, dest="buffer_capacity")
+    train.add_argument(
+        "--update-every", type=int, default=None, dest="update_every"
+    )
     train.add_argument("--seed", type=int, default=0)
-    train.add_argument(
-        "--fast-path",
-        action="store_true",
-        help="use the vectorized sampling engine (equivalent draws, batched execution)",
-    )
-    train.add_argument(
-        "--batched-update",
-        action="store_true",
-        help="run update rounds through the stacked-agent batched engine "
-        "(homogeneous agents only; numerically equivalent to the scalar loop)",
-    )
-    train.add_argument(
-        "--storage",
-        choices=["agent_major", "timestep_major"],
-        default=None,
-        help="replay storage engine: agent_major (baseline N dense rings) or "
-        "timestep_major (shared packed arena; bit-identical training)",
-    )
-    train.add_argument(
-        "--backend",
-        choices=["numpy", "numba"],
-        default=None,
-        help="compute backend for the batched update engine: numpy "
-        "(reference) or numba (fused jitted kernels; falls back to numpy "
-        "with a warning when numba is missing; REPRO_BACKEND overrides)",
-    )
+    _add_config_flags(train)
     train.add_argument(
         "--steps",
         type=int,
@@ -98,13 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--env-workers",
         type=int,
         default=None,
+        dest="env_workers",
         help="rollout worker processes stepping env copies over shared memory; "
         "0/1 = serial in-process engine (default; REPRO_ENV_WORKERS overrides)",
     )
     train.add_argument(
         "--prefetch",
         action=argparse.BooleanOptionalAction,
-        default=False,
+        default=None,
         help="assemble the next round's mini-batches on a background thread "
         "while the current round computes (--no-prefetch restores the "
         "bit-identical serial schedule; PER rounds auto-discard via the "
@@ -114,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay-shards",
         type=int,
         default=None,
+        dest="replay_shards",
         metavar="S",
         help="shard the replay across S dataset-server processes (pipeline "
         "mode, with --steps); 1 = in-process mode, bit-identical to the "
@@ -122,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--learners",
         type=int,
-        default=1,
+        default=None,
         metavar="L",
         help="learner processes pulling mini-batches from the replay service "
         "and publishing versioned parameter snapshots (with --steps; "
@@ -131,7 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--staleness",
         type=int,
-        default=1,
+        default=None,
+        dest="param_staleness",
         metavar="T",
         help="async-broadcast staleness bound: the rollout actor re-polls "
         "the parameter store every T vector sweeps (service mode)",
@@ -151,34 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--env", default="predator_prey")
     profile.add_argument("--agents", type=int, default=3)
     profile.add_argument("--variant", default="baseline")
-    profile.add_argument("--batch-size", type=int, default=1024)
+    profile.add_argument("--batch-size", type=int, default=None, dest="batch_size")
     profile.add_argument("--rounds", type=int, default=3)
     profile.add_argument("--seed", type=int, default=0)
-    profile.add_argument(
-        "--fast-path",
-        action="store_true",
-        help="profile with the vectorized sampling engine instead of the faithful loops",
-    )
-    profile.add_argument(
-        "--batched-update",
-        action="store_true",
-        help="profile the stacked-agent batched update engine instead of the "
-        "per-agent loop (homogeneous agents only)",
-    )
-    profile.add_argument(
-        "--storage",
-        choices=["agent_major", "timestep_major"],
-        default=None,
-        help="replay storage engine to profile (timestep_major splits the "
-        "sampling phase into joint_gather + agent_split)",
-    )
-    profile.add_argument(
-        "--backend",
-        choices=["numpy", "numba"],
-        default=None,
-        help="compute backend for the batched update engine "
-        "(with --batched-update; numba falls back to numpy when missing)",
-    )
+    _add_config_flags(profile)
 
     sample = sub.add_parser("sample", help="sampling-strategy microbenchmark")
     sample.add_argument("--env", default="predator_prey")
@@ -282,212 +297,210 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
 
-    report = sub.add_parser("report", help="regenerate headline exhibits as markdown")
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative experiment sweep into a run registry"
+    )
+    sweep.add_argument("spec", help="TOML/JSON sweep spec (grid/cells over run + config fields)")
+    sweep.add_argument(
+        "--registry",
+        required=True,
+        metavar="DIR",
+        help="run-registry directory (append-only; reused across sweeps)",
+    )
+    sweep.add_argument(
+        "--max-workers", type=int, default=None,
+        help="concurrent child processes (default: total cores)",
+    )
+    sweep.add_argument(
+        "--total-cores", type=int, default=None,
+        help="core budget shared by all concurrent runs (default: host cores)",
+    )
+    sweep.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip per-run telemetry.jsonl streams",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expansion (run ids, seeds, configs) without running",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="exhibits markdown (default), bench trajectories (--history), "
+        "or sweep summary (--registry)",
+    )
     report.add_argument("--output", default=None, help="write markdown here (default: stdout)")
     report.add_argument("--agents", type=int, nargs="+", default=[3, 6])
     report.add_argument("--batch-size", type=int, default=256)
     report.add_argument("--rows", type=int, default=2048)
     report.add_argument("--env", default="predator_prey")
     report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--history",
+        default=None,
+        metavar="SOURCE",
+        help="render per-metric regression trajectories from accumulated "
+        "BENCH_<suite>.json generations (a directory of reports, or one "
+        "report path)",
+    )
+    report.add_argument(
+        "--suite",
+        default=None,
+        help="restrict --history to one suite when the source mixes several",
+    )
+    report.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="restrict --history rows to bench.metric keys containing this "
+        "substring (repeatable)",
+    )
+    report.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="summarize a sweep run registry instead of generating exhibits",
+    )
     return parser
 
 
-def _make_telemetry(path):
-    """JSONL telemetry recorder for a CLI path, or None when not asked for."""
-    if path is None:
-        return None
-    from .telemetry import jsonl_recorder
+# ---------------------------------------------------------------------------
+# config resolution plumbing
+# ---------------------------------------------------------------------------
 
-    return jsonl_recorder(path)
+#: argparse dest names that are MARLConfig fields (set on train/profile).
+_CONFIG_DESTS = (
+    "batch_size",
+    "buffer_capacity",
+    "update_every",
+    "fast_path",
+    "batched_update",
+    "storage",
+    "backend",
+    "env_workers",
+    "prefetch",
+    "replay_shards",
+    "learners",
+    "param_staleness",
+)
 
 
-def _cmd_train_pipeline(args, config: MARLConfig) -> int:
-    """Pipelined training: vector steps over K copies, optional overlap."""
-    from .envs.factory import make_vector_env, resolve_env_workers
-    from .training.loop import train_steps
+def _cli_overrides(args) -> Dict[str, object]:
+    """Config-field overrides actually given on the command line."""
+    return {
+        name: getattr(args, name)
+        for name in _CONFIG_DESTS
+        if getattr(args, name, None) is not None
+    }
 
-    workers = resolve_env_workers(args.env_workers)
-    vec = make_vector_env(
-        args.env,
-        num_agents=args.agents,
-        copies=args.copies,
-        seed=args.seed,
-        workers=workers,
-    )
-    engine = type(vec).__name__
-    print(
-        f"training {args.algorithm}/{args.env}/{args.agents} agents "
-        f"({args.variant}) for {args.steps} vector steps x {args.copies} copies "
-        f"[{engine}, workers={max(workers, 1)}, "
-        f"prefetch={'on' if args.prefetch else 'off'}]"
-    )
-    trainer = build_trainer(
-        args.algorithm, args.variant, vec.obs_dims, vec.act_dims,
-        config=config, seed=args.seed,
-    )
-    telemetry = _make_telemetry(args.telemetry)
-    try:
-        result = train_steps(
-            vec,
-            trainer,
-            args.steps,
-            variant=args.variant,
-            env_name=args.env,
-            prefetch=args.prefetch,
-            prefetch_seed=args.seed,
-            telemetry=telemetry,
-        )
-    finally:
-        if hasattr(vec, "close"):
-            vec.close()
-        if telemetry is not None:
-            telemetry.close()
-            print(f"telemetry written to {args.telemetry}")
-    print(
-        f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
-        f"{result.extra['transitions']:.0f} transitions "
-        f"({result.extra['steps_per_second']:.0f} steps/s), "
-        f"mean step reward {result.extra['mean_step_reward']:.3f}"
-    )
-    if args.prefetch:
-        print(
-            f"prefetch: {result.extra['prefetch_hits']:.0f} hits / "
-            f"{result.extra['prefetch_misses']:.0f} misses / "
-            f"{result.extra['prefetch_stale']:.0f} stale, "
-            f"overlap fraction {result.extra['overlap_fraction']:.2f} "
-            f"({result.extra['hidden_sampling_seconds'] * 1e3:.1f}ms sampling hidden)"
-        )
+
+def _print_end_to_end(result) -> None:
     timer = PhaseTimer()
     for key, value in result.phase_totals.items():
         timer.add(key, value)
     print("end-to-end:", end_to_end_breakdown(timer, result.total_seconds).render())
-    if args.save_json:
-        result.to_json(args.save_json)
-        print(f"result written to {args.save_json}")
-    return 0
 
 
-def _cmd_train_service(args, config: MARLConfig) -> int:
-    """Service-mode training: sharded replay server + L learner processes."""
-    from .envs.factory import make_vector_env, resolve_env_workers
-    from .training.service_loop import train_service
-
-    workers = resolve_env_workers(args.env_workers)
-    shards = config.resolved_replay_shards
-    vec = make_vector_env(
-        args.env,
-        num_agents=args.agents,
-        copies=args.copies,
-        seed=args.seed,
-        workers=workers,
-    )
-    print(
-        f"training {args.algorithm}/{args.env}/{args.agents} agents "
-        f"({args.variant}) for {args.steps} vector steps x {args.copies} copies "
-        f"through the replay service [shards={shards}, learners={config.learners}, "
-        f"staleness={config.param_staleness}]"
-    )
-    trainer = build_trainer(
-        args.algorithm, args.variant, vec.obs_dims, vec.act_dims,
-        config=config, seed=args.seed,
-    )
-    telemetry = _make_telemetry(args.telemetry)
-    try:
-        result = train_service(
-            vec,
-            trainer,
-            args.steps,
-            shards=shards,
-            learners=config.learners,
-            variant=args.variant,
-            env_name=args.env,
-            staleness=config.param_staleness,
-            seed=args.seed,
-            telemetry=telemetry,
-        )
-    finally:
-        if hasattr(vec, "close"):
-            vec.close()
-        if telemetry is not None:
-            telemetry.close()
-            print(f"telemetry written to {args.telemetry}")
-    print(
-        f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
-        f"{result.extra['transitions']:.0f} transitions "
-        f"({result.extra['steps_per_second']:.0f} steps/s)"
-    )
-    if "learner_rounds" in result.extra:
-        print(
-            f"service: {result.extra['learner_rounds']:.0f} learner rounds, "
-            f"{result.extra['sampled_rows']:.0f} rows sampled "
-            f"({result.extra['sampled_rows_per_s']:.0f} rows/s aggregate), "
-            f"learner utilization {result.extra['learner_utilization']:.2f}, "
-            f"staleness mean/max {result.extra['staleness_mean']:.1f}/"
-            f"{result.extra['staleness_max']:.0f}"
-        )
-    if args.save_json:
-        result.to_json(args.save_json)
-        print(f"result written to {args.save_json}")
-    return 0
+# ---------------------------------------------------------------------------
+# commands (thin wrappers over repro.api)
+# ---------------------------------------------------------------------------
 
 
 def _cmd_train(args) -> int:
-    config = MARLConfig(
-        batch_size=args.batch_size,
-        buffer_capacity=args.buffer,
-        update_every=args.update_every,
-        fast_path=args.fast_path,
-        batched_update=args.batched_update,
-        storage=args.storage,
-        backend=args.backend,
-        env_workers=args.env_workers if args.env_workers is not None else 0,
-        prefetch=args.prefetch,
-        replay_shards=args.replay_shards,
-        learners=args.learners,
-        param_staleness=args.staleness,
+    from . import api
+
+    resolved = resolve_config(
+        file=args.spec,
+        cli_overrides=_cli_overrides(args),
+        defaults={
+            # the train command's historical laptop-scale defaults (the
+            # paper-exact MARLConfig defaults stay for API users)
+            "batch_size": 64,
+            "buffer_capacity": 8192,
+            "update_every": 25,
+        },
     )
-    if args.steps is not None:
-        if config.resolved_replay_shards > 1 or config.learners > 1:
-            return _cmd_train_service(args, config)
-        return _cmd_train_pipeline(args, config)
-    spec = WorkloadSpec(
+    result = api.train(
+        resolved,
         algorithm=args.algorithm,
         env_name=args.env,
         num_agents=args.agents,
         variant=args.variant,
-        episodes=args.episodes,
+        episodes=None if args.steps is not None else args.episodes,
+        steps=args.steps,
+        copies=args.copies,
         seed=args.seed,
-        config=config,
+        telemetry=args.telemetry,
+        verbose=True,
     )
-    print(f"training {spec.key} for {args.episodes} episodes ...")
-    telemetry = _make_telemetry(args.telemetry)
-    try:
-        result = run_workload(
-            spec, progress_every=max(args.episodes // 5, 1), telemetry=telemetry
+    if args.telemetry is not None:
+        print(f"telemetry written to {args.telemetry}")
+    cfg = resolved.config
+    if args.steps is not None:
+        service = cfg.resolved_replay_shards > 1 or cfg.learners > 1
+        print(
+            f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
+            f"{result.extra['transitions']:.0f} transitions "
+            f"({result.extra['steps_per_second']:.0f} steps/s)"
+            + (
+                f", mean step reward {result.extra['mean_step_reward']:.3f}"
+                if not service
+                else ""
+            )
         )
-    finally:
-        if telemetry is not None:
-            telemetry.close()
-            print(f"telemetry written to {args.telemetry}")
-    print(
-        f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
-        f"mean reward (last 20%) {result.mean_episode_reward(last=max(args.episodes // 5, 1)):.2f}"
-    )
-    timer = PhaseTimer()
-    for key, value in result.phase_totals.items():
-        timer.add(key, value)
-    print("end-to-end:", end_to_end_breakdown(timer, result.total_seconds).render())
-    try:
-        print("update:    ", update_breakdown(timer).render())
-    except ValueError:
-        print("update:     (no update rounds ran; buffer never reached batch size)")
+        if cfg.prefetch and "prefetch_hits" in result.extra:
+            print(
+                f"prefetch: {result.extra['prefetch_hits']:.0f} hits / "
+                f"{result.extra['prefetch_misses']:.0f} misses / "
+                f"{result.extra['prefetch_stale']:.0f} stale, "
+                f"overlap fraction {result.extra['overlap_fraction']:.2f} "
+                f"({result.extra['hidden_sampling_seconds'] * 1e3:.1f}ms sampling hidden)"
+            )
+        if "learner_rounds" in result.extra:
+            print(
+                f"service: {result.extra['learner_rounds']:.0f} learner rounds, "
+                f"{result.extra['sampled_rows']:.0f} rows sampled "
+                f"({result.extra['sampled_rows_per_s']:.0f} rows/s aggregate), "
+                f"learner utilization {result.extra['learner_utilization']:.2f}, "
+                f"staleness mean/max {result.extra['staleness_mean']:.1f}/"
+                f"{result.extra['staleness_max']:.0f}"
+            )
+        if not service:
+            _print_end_to_end(result)
+    else:
+        print(
+            f"done: {result.total_seconds:.1f}s, {result.update_rounds} update rounds, "
+            f"mean reward (last 20%) "
+            f"{result.mean_episode_reward(last=max(args.episodes // 5, 1)):.2f}"
+        )
+        _print_end_to_end(result)
+        timer = PhaseTimer()
+        for key, value in result.phase_totals.items():
+            timer.add(key, value)
+        try:
+            print("update:    ", update_breakdown(timer).render())
+        except ValueError:
+            print("update:     (no update rounds ran; buffer never reached batch size)")
     if args.save_json:
         result.to_json(args.save_json)
         print(f"result written to {args.save_json}")
     if args.checkpoint:
         from .algos.checkpoint import save_checkpoint
         from .experiments.runner import build_workload
+        from .experiments.workloads import WorkloadSpec
 
+        spec = WorkloadSpec(
+            algorithm=args.algorithm,
+            env_name=args.env,
+            num_agents=args.agents,
+            variant=args.variant,
+            episodes=args.episodes,
+            seed=args.seed,
+            config=cfg,
+        )
         # rebuild to get the trainer (run_workload discards it); retrain
         # is avoided by checkpointing from a fresh build only when asked
         env, trainer = build_workload(spec)
@@ -501,26 +514,26 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    env = make(args.env, num_agents=args.agents, seed=args.seed)
-    config = MARLConfig(
-        batch_size=args.batch_size,
-        buffer_capacity=max(4 * args.batch_size, 4096),
-        update_every=100,
-        fast_path=args.fast_path,
-        batched_update=args.batched_update,
-        storage=args.storage,
-        backend=args.backend,
+    resolved = resolve_config(
+        cli_overrides=_cli_overrides(args),
+        defaults={"batch_size": 1024, "update_every": 100},
     )
+    config = resolved.config
+    if resolved.provenance["buffer_capacity"] == "default":
+        config = config.scaled(
+            buffer_capacity=max(4 * config.batch_size, 4096)
+        )
+    env = make(args.env, num_agents=args.agents, seed=args.seed)
     trainer = build_trainer(
         args.algorithm, args.variant, env.obs_dims, env.act_dims,
         config=config, seed=args.seed,
     )
     rng = np.random.default_rng(args.seed)
-    fill_replay(trainer.replay, rng, 2 * args.batch_size)
+    fill_replay(trainer.replay, rng, 2 * config.batch_size)
     for _ in range(args.rounds):
         trainer.update(force=True)
     print(f"{args.algorithm}/{args.env}/{args.agents} agents, variant {args.variant}, "
-          f"batch {args.batch_size}, {args.rounds} update rounds")
+          f"batch {config.batch_size}, {args.rounds} update rounds")
     print(update_breakdown(trainer.timer).render())
     print()
     print(trainer.timer.render_tree())
@@ -581,18 +594,30 @@ def _cmd_sample(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from .experiments.report import generate_report
+    from . import api
 
-    text = generate_report(
-        agent_counts=tuple(args.agents),
-        batch_size=args.batch_size,
-        rows=args.rows,
-        env_name=args.env,
-        seed=args.seed,
-    )
+    if args.history is not None and args.registry is not None:
+        print("report: pass --history or --registry, not both", file=sys.stderr)
+        return 2
+    if args.history is not None:
+        text = api.report_history(
+            args.history, suite=args.suite, metrics=args.metric
+        )
+    elif args.registry is not None:
+        text = api.report_registry(args.registry)
+    else:
+        from .experiments.report import generate_report
+
+        text = generate_report(
+            agent_counts=tuple(args.agents),
+            batch_size=args.batch_size,
+            rows=args.rows,
+            env_name=args.env,
+            seed=args.seed,
+        )
     if args.output:
         with open(args.output, "w") as f:
-            f.write(text)
+            f.write(text if text.endswith("\n") else text + "\n")
         print(f"report written to {args.output}")
     else:
         print(text)
@@ -600,36 +625,66 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .bench import main as bench_main
+    from . import api
+    from . import bench as bench_mod
 
-    return bench_main(args)
+    if args.list:
+        return bench_mod.main(args)
+    report, violations = api.bench(
+        suite=args.suite, output=args.output, compare=args.compare, verbose=True
+    )
+    out = args.output or str(bench_mod._REPO_ROOT / f"BENCH_{args.suite}.json")
+    print(f"[bench] report written to {out}")
+    if violations:
+        print(f"[bench] {len(violations)} violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"[bench]   {violation}", file=sys.stderr)
+        return 1
+    if args.compare:
+        print(f"[bench] compare vs {args.compare}: all gated metrics within tolerance")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from . import api
+
+    spec = api.load_sweep_spec(args.spec)
+    runs = spec.expand()
+    print(
+        f"sweep {spec.name!r}: {len(runs)} runs "
+        f"({len(spec.grid)} grid axes, {len(spec.cells)} explicit cells, "
+        f"repeats={spec.repeats})"
+    )
+    if args.dry_run:
+        for run in runs:
+            print(f"  {run.run_id:<40} seed={run.seed:<11} {run.key}")
+        return 0
+    outcome = api.sweep(
+        spec,
+        args.registry,
+        max_workers=args.max_workers,
+        total_cores=args.total_cores,
+        telemetry=not args.no_telemetry,
+        verbose=True,
+    )
+    print(
+        f"sweep done: {outcome.ok}/{outcome.total_runs} ok, "
+        f"{outcome.failed} failed, {outcome.timeout} timed out "
+        f"({outcome.attempts} attempts, {outcome.wall_seconds:.1f}s wall)"
+    )
+    print(api.report_registry(args.registry))
+    return 0 if outcome.all_ok else 1
 
 
 def _cmd_serve(args) -> int:
-    import threading
-
-    from .nn.mlp import mlp
+    from . import api
     from .profiling.phases import (
         SERVE_BATCH_FORWARD,
         SERVE_FLUSH,
         SERVE_QUEUE_WAIT,
     )
-    from .serving import LoadGenerator, PolicyServer, SnapshotStore
 
-    rng = np.random.default_rng(args.seed)
     hidden = tuple(args.hidden)
-    actors = [
-        mlp(args.obs_dim, args.act_dim, hidden=hidden, rng=rng)
-        for _ in range(args.agents)
-    ]
-    store = SnapshotStore(actors, backend=args.backend)
-    store.publish_actors(actors)
-    server = PolicyServer(
-        store,
-        batch_window_ms=args.batch_window_ms,
-        max_batch=args.max_batch,
-        max_queue_depth=args.max_queue_depth,
-    )
     mode = (
         f"open loop at {args.open_rate:.0f} req/s for {args.duration:.1f}s"
         if args.open_rate is not None
@@ -642,37 +697,26 @@ def _cmd_serve(args) -> int:
         f"queue {args.max_queue_depth}"
     )
     print(f"{args.users} simulated users, {mode}")
-
-    stop_publishing = threading.Event()
-
-    def _republish() -> None:
-        # hot-swap exercise: perturb the live actors and republish on a
-        # fixed cadence while requests stream
-        period = args.publish_every_ms / 1e3
-        while not stop_publishing.wait(period):
-            for actor in actors:
-                for p in actor.parameters():
-                    p.value += rng.standard_normal(p.value.shape) * 1e-4
-            store.publish_actors(actors)
-
-    publisher = None
-    if args.publish_every_ms is not None:
-        publisher = threading.Thread(target=_republish, daemon=True)
-    gen = LoadGenerator(
-        server, num_users=args.users, seed=args.seed, deadline_ms=args.deadline_ms
+    outcome = api.serve(
+        agents=args.agents,
+        obs_dim=args.obs_dim,
+        act_dim=args.act_dim,
+        hidden=hidden,
+        users=args.users,
+        requests=args.requests,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth,
+        deadline_ms=args.deadline_ms,
+        open_rate=args.open_rate,
+        duration=args.duration,
+        publish_every_ms=args.publish_every_ms,
+        backend=args.backend,
+        seed=args.seed,
     )
-    with server:
-        if publisher is not None:
-            publisher.start()
-        if args.open_rate is not None:
-            report = gen.run_open(args.open_rate, args.duration)
-        else:
-            report = gen.run_closed(args.requests)
-        if publisher is not None:
-            stop_publishing.set()
-            publisher.join()
-    s = report.summary()
-    versions = report.versions
+    s = outcome.summary
+    versions = outcome.report.versions
+    store, server = outcome.store, outcome.server
     print(
         f"done: {s['duration_s']:.2f}s, {s['throughput_rps']:.0f} req/s, "
         f"latency p50 {s['latency_p50_ms']:.2f}ms p99 {s['latency_p99_ms']:.2f}ms, "
@@ -719,6 +763,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "sweep": _cmd_sweep,
 }
 
 

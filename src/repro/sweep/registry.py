@@ -1,0 +1,308 @@
+"""The run registry: one append-only directory for a fleet of runs.
+
+Layout::
+
+    <root>/
+      manifest.jsonl          # one line per recorded attempt (the index)
+      runs/<run_id>/
+        spec.json             # RunSpec.to_dict()
+        result.json           # RunResult.as_dict() (successful attempts)
+        telemetry.jsonl       # typed telemetry stream (when enabled)
+        failure_<n>.json      # error record per failed attempt
+
+Two invariants make the registry safe under concurrent sweeps and
+crashes:
+
+* **Single writer, append only.**  Only the sweep parent process writes
+  ``manifest.jsonl``, and only by appending whole lines; a torn run
+  leaves at most one truncated trailing line, which :meth:`load`
+  skips with a warning instead of failing the whole registry.
+* **The filesystem is the source of truth.**  Every manifest line is
+  derivable from the run directories; :meth:`rebuild_index` re-derives
+  the index from disk and must equal the in-memory state (property
+  tested), so a lost or corrupt manifest is recoverable with
+  ``RunRegistry.load(root, rebuild=True)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..training.results import RunResult
+from .spec import RunSpec
+
+__all__ = ["RunRecord", "RunRegistry"]
+
+_MANIFEST = "manifest.jsonl"
+_RUNS = "runs"
+
+#: RunResult.extra keys surfaced into manifest metrics when present.
+_EXTRA_METRICS = ("steps_per_second", "transitions", "mean_step_reward")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One manifest line: the outcome of one attempt of one run."""
+
+    run_id: str
+    key: str
+    status: str  # "ok" | "failed" | "timeout"
+    attempt: int
+    seed: int
+    seconds: float = 0.0
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    #: registry-relative paths of this attempt's artifacts
+    paths: Dict[str, str] = field(default_factory=dict)
+    recorded_unix: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(**dict(data))
+
+
+def _result_metrics(result: RunResult) -> Dict[str, float]:
+    metrics: Dict[str, float] = {
+        "update_rounds": float(result.update_rounds),
+        "env_steps": float(result.env_steps),
+    }
+    if result.episode_rewards:
+        metrics["mean_episode_reward"] = float(
+            sum(result.episode_rewards) / len(result.episode_rewards)
+        )
+    for name in _EXTRA_METRICS:
+        if name in result.extra:
+            metrics[name] = float(result.extra[name])
+    return metrics
+
+
+class RunRegistry:
+    """Append-only registry of sweep runs rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _RUNS).mkdir(exist_ok=True)
+        self._records: List[RunRecord] = []
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def run_dir(self, run_id: str) -> Path:
+        """This run's artifact directory (created on first use)."""
+        path = self.root / _RUNS / run_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    # -- recording (sweep-parent side) ---------------------------------------
+
+    def open_run(self, spec: RunSpec) -> Path:
+        """Create the run directory and persist its spec; returns the dir."""
+        run_dir = self.run_dir(spec.run_id)
+        spec_path = run_dir / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return run_dir
+
+    def record_result(
+        self,
+        spec: RunSpec,
+        result: RunResult,
+        attempt: int = 1,
+        seconds: Optional[float] = None,
+    ) -> RunRecord:
+        """Append a successful attempt to the manifest."""
+        run_dir = self.run_dir(spec.run_id)
+        paths = {"spec": self._rel(run_dir / "spec.json")}
+        result_path = run_dir / "result.json"
+        if not result_path.exists():
+            result.to_json(str(result_path))
+        paths["result"] = self._rel(result_path)
+        telemetry = run_dir / "telemetry.jsonl"
+        if telemetry.exists():
+            paths["telemetry"] = self._rel(telemetry)
+        record = RunRecord(
+            run_id=spec.run_id,
+            key=spec.key,
+            status="ok",
+            attempt=attempt,
+            seed=spec.seed,
+            seconds=seconds if seconds is not None else result.total_seconds,
+            metrics=_result_metrics(result),
+            paths=paths,
+            recorded_unix=time.time(),
+        )
+        self._append(record)
+        return record
+
+    def record_failure(
+        self,
+        spec: RunSpec,
+        error: str,
+        attempt: int = 1,
+        seconds: float = 0.0,
+        status: str = "failed",
+    ) -> RunRecord:
+        """Append a failed/timed-out attempt; writes ``failure_<n>.json``."""
+        if status not in ("failed", "timeout"):
+            raise ValueError(f"status must be failed|timeout, got {status!r}")
+        run_dir = self.run_dir(spec.run_id)
+        failure_path = run_dir / f"failure_{attempt}.json"
+        failure_path.write_text(
+            json.dumps(
+                {
+                    "run_id": spec.run_id,
+                    "attempt": attempt,
+                    "status": status,
+                    "error": error,
+                    "seconds": seconds,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        record = RunRecord(
+            run_id=spec.run_id,
+            key=spec.key,
+            status=status,
+            attempt=attempt,
+            seed=spec.seed,
+            seconds=seconds,
+            error=error,
+            paths={
+                "spec": self._rel(run_dir / "spec.json"),
+                "failure": self._rel(failure_path),
+            },
+            recorded_unix=time.time(),
+        )
+        self._append(record)
+        return record
+
+    def _rel(self, path: Path) -> str:
+        return str(path.relative_to(self.root))
+
+    def _append(self, record: RunRecord) -> None:
+        with open(self.manifest_path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        self._records.append(record)
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def records(self) -> List[RunRecord]:
+        """In-memory view of the manifest, recording order."""
+        return list(self._records)
+
+    def by_status(self, status: str) -> List[RunRecord]:
+        return [r for r in self._records if r.status == status]
+
+    def final_status(self) -> Dict[str, str]:
+        """run_id → status of its *last* recorded attempt."""
+        out: Dict[str, str] = {}
+        for record in self._records:
+            out[record.run_id] = record.status
+        return out
+
+    @classmethod
+    def load(cls, root: Union[str, Path], rebuild: bool = False) -> "RunRegistry":
+        """Open an existing registry, reading the manifest index.
+
+        ``rebuild=True`` re-derives the index from the run directories
+        instead (manifest lost/corrupt); a truncated trailing manifest
+        line is skipped with a warning either way.
+        """
+        registry = cls(root)
+        if rebuild:
+            registry._records = registry.rebuild_index()
+            return registry
+        if registry.manifest_path.exists():
+            with open(registry.manifest_path, "r", encoding="utf-8") as f:
+                for line_no, line in enumerate(f, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        registry._records.append(
+                            RunRecord.from_dict(json.loads(line))
+                        )
+                    except (json.JSONDecodeError, TypeError):
+                        warnings.warn(
+                            f"{registry.manifest_path}:{line_no}: skipping "
+                            f"unparseable manifest line",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+        return registry
+
+    def rebuild_index(self) -> List[RunRecord]:
+        """Re-derive manifest records from the run directories on disk.
+
+        The reconstruction is exact up to ``recorded_unix`` (taken from
+        file mtimes) and manifest ordering (run_id, then attempt); the
+        round-trip test compares everything else field by field.
+        """
+        records: List[RunRecord] = []
+        runs_dir = self.root / _RUNS
+        for run_dir in sorted(runs_dir.iterdir()) if runs_dir.exists() else []:
+            if not run_dir.is_dir():
+                continue
+            spec_path = run_dir / "spec.json"
+            if not spec_path.exists():
+                continue
+            spec = RunSpec.from_dict(json.loads(spec_path.read_text()))
+            attempts: List[RunRecord] = []
+            for failure_path in sorted(run_dir.glob("failure_*.json")):
+                data = json.loads(failure_path.read_text())
+                attempts.append(
+                    RunRecord(
+                        run_id=spec.run_id,
+                        key=spec.key,
+                        status=data.get("status", "failed"),
+                        attempt=int(data.get("attempt", 1)),
+                        seed=spec.seed,
+                        seconds=float(data.get("seconds", 0.0)),
+                        error=data.get("error", ""),
+                        paths={
+                            "spec": self._rel(spec_path),
+                            "failure": self._rel(failure_path),
+                        },
+                        recorded_unix=failure_path.stat().st_mtime,
+                    )
+                )
+            result_path = run_dir / "result.json"
+            if result_path.exists():
+                result = RunResult.from_json(str(result_path))
+                paths = {
+                    "spec": self._rel(spec_path),
+                    "result": self._rel(result_path),
+                }
+                telemetry = run_dir / "telemetry.jsonl"
+                if telemetry.exists():
+                    paths["telemetry"] = self._rel(telemetry)
+                attempts.append(
+                    RunRecord(
+                        run_id=spec.run_id,
+                        key=spec.key,
+                        status="ok",
+                        attempt=len(attempts) + 1,
+                        seed=spec.seed,
+                        seconds=result.total_seconds,
+                        metrics=_result_metrics(result),
+                        paths=paths,
+                        recorded_unix=result_path.stat().st_mtime,
+                    )
+                )
+            attempts.sort(key=lambda r: r.attempt)
+            records.extend(attempts)
+        return records

@@ -1,0 +1,333 @@
+"""Elastic concurrent execution of a sweep over a bounded process pool.
+
+Every :class:`~repro.sweep.spec.RunSpec` executes in its *own* forked
+child process — crash isolation is the point: a segfault, unhandled
+exception, or hang in one cell must never take down the sweep or skew a
+sibling's measurement.  The parent is a plain scheduler loop:
+
+* **Bounded pool.**  At most ``max_workers`` children at once, and at
+  most ``total_cores`` granted cores across them (two independent
+  knobs: a 4-core host can run 8 tiny 0.5-core-ish runs via
+  ``max_workers=8, total_cores=8`` or be kept half-idle).
+* **Elastic grants.**  :func:`plan_admission` is the pure scheduling
+  function: each pending run is admitted with its requested ``cores``
+  floor; once the queue drains (every pending run admitted — "replay
+  runs dry") the leftover learner cores are handed to *rollout*-kind
+  runs up to their ``max_cores`` ceiling.  A granted budget reaches the
+  child as ``RunSpec.cores``, where the execution layer turns spare
+  cores into extra env workers for pipeline-mode runs.
+* **Timeouts and bounded retry.**  A child past its ``timeout_s`` is
+  terminated and recorded as ``timeout``; failed/timed-out runs retry
+  up to ``max_attempts`` total attempts.  Every attempt lands in the
+  :class:`~repro.sweep.registry.RunRegistry` — partial failure is a
+  *recorded outcome*, never an exception out of :meth:`SweepRunner.run`.
+
+The child writes ``result.json`` (and optionally ``telemetry.jsonl``)
+into its registry run directory and communicates only through the
+filesystem plus its exit code, so no pickling of results crosses the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from .registry import RunRegistry
+from .spec import RunSpec
+
+__all__ = ["ResourceHint", "SweepOutcome", "SweepRunner", "plan_admission"]
+
+_MP = get_context("fork")
+
+
+@dataclass(frozen=True)
+class ResourceHint:
+    """Scheduling view of one run: floor, ceiling, and elasticity kind."""
+
+    cores: int = 1
+    max_cores: Optional[int] = None
+    kind: str = "learner"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.max_cores is not None and self.max_cores < self.cores:
+            raise ValueError(
+                f"max_cores {self.max_cores} below cores floor {self.cores}"
+            )
+        if self.kind not in ("learner", "rollout"):
+            raise ValueError(f"kind must be learner|rollout, got {self.kind!r}")
+
+    @classmethod
+    def of(cls, spec: RunSpec) -> "ResourceHint":
+        return cls(cores=spec.cores, max_cores=spec.max_cores, kind=spec.kind)
+
+
+def plan_admission(pending: Sequence[ResourceHint], free_cores: int) -> List[int]:
+    """Core grants for the admissible *prefix* of ``pending``.
+
+    Pure function of its arguments (unit-testable scheduling policy):
+
+    1. Walk ``pending`` in order, admitting each run at its ``cores``
+       floor while the budget holds; stop at the first run that does
+       not fit (FIFO — no overtaking, so a wide run cannot starve).
+    2. If *every* pending run was admitted and budget remains — the
+       queue ran dry — expand ``rollout``-kind runs (in order) up to
+       their ``max_cores`` ceiling until the budget is exhausted.
+       Learner runs never expand: spare learner cores are exactly what
+       rollout-heavy runs are waiting for.
+    """
+    if free_cores < 0:
+        raise ValueError(f"free_cores must be >= 0, got {free_cores}")
+    grants: List[int] = []
+    remaining = free_cores
+    for hint in pending:
+        if hint.cores > remaining:
+            break
+        grants.append(hint.cores)
+        remaining -= hint.cores
+    if grants and len(grants) == len(pending) and remaining > 0:
+        for i, hint in enumerate(pending):
+            if hint.kind != "rollout":
+                continue
+            ceiling = hint.max_cores if hint.max_cores is not None else hint.cores
+            extra = min(ceiling - grants[i], remaining)
+            if extra > 0:
+                grants[i] += extra
+                remaining -= extra
+            if remaining == 0:
+                break
+    return grants
+
+
+def _child_main(spec: RunSpec, run_dir: str, telemetry: bool) -> None:
+    """Execute one run inside the forked child; exit code is the verdict."""
+    try:
+        from ..api import execute_run
+
+        execute_run(spec, run_dir=Path(run_dir), telemetry=telemetry)
+    except BaseException:
+        try:
+            with open(Path(run_dir) / "log.txt", "a", encoding="utf-8") as f:
+                f.write(traceback.format_exc())
+        finally:
+            sys.exit(1)
+
+
+@dataclass
+class _Active:
+    proc: object
+    spec: RunSpec
+    attempt: int
+    start: float
+    grant: int
+
+
+@dataclass
+class SweepOutcome:
+    """Summary of one :meth:`SweepRunner.run` call."""
+
+    total_runs: int
+    ok: int
+    failed: int
+    timeout: int
+    attempts: int
+    wall_seconds: float
+    registry_root: str
+    #: run_id → final status ("ok" | "failed" | "timeout")
+    statuses: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.ok == self.total_runs
+
+
+class SweepRunner:
+    """Schedules RunSpecs over forked children into a RunRegistry."""
+
+    def __init__(
+        self,
+        registry: RunRegistry,
+        max_workers: Optional[int] = None,
+        total_cores: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = 1,
+        telemetry: bool = True,
+        poll_s: float = 0.02,
+    ) -> None:
+        cores = os.cpu_count() or 1
+        self.registry = registry
+        self.total_cores = total_cores if total_cores is not None else cores
+        self.max_workers = max_workers if max_workers is not None else self.total_cores
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.telemetry = telemetry
+        self.poll_s = poll_s
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.total_cores < 1:
+            raise ValueError(f"total_cores must be >= 1, got {self.total_cores}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    # -- scheduling loop -----------------------------------------------------
+
+    def run(self, runs: Sequence[RunSpec], verbose: bool = False) -> SweepOutcome:
+        """Execute every run; partial failures are recorded, not raised."""
+        run_ids = [spec.run_id for spec in runs]
+        if len(set(run_ids)) != len(run_ids):
+            raise ValueError("duplicate run_ids in sweep expansion")
+        pending: Deque[Tuple[RunSpec, int]] = deque((spec, 1) for spec in runs)
+        active: List[_Active] = []
+        attempts = 0
+        start = time.perf_counter()
+        while pending or active:
+            # launch as many pending runs as the pool and budget allow
+            free = self.total_cores - sum(a.grant for a in active)
+            slots = self.max_workers - len(active)
+            if pending and slots > 0 and free > 0:
+                window = list(pending)[:slots]
+                grants = plan_admission(
+                    [ResourceHint.of(spec) for spec, _ in window], free
+                )
+                for grant in grants:
+                    spec, attempt = pending.popleft()
+                    active.append(self._launch(spec, attempt, grant, verbose))
+                    attempts += 1
+            # reap finished / overdue children
+            still_active: List[_Active] = []
+            for entry in active:
+                if entry.proc.exitcode is not None:
+                    self._finish(entry, pending, verbose)
+                elif (
+                    self.timeout_s is not None
+                    and time.perf_counter() - entry.start > self.timeout_s
+                ):
+                    self._expire(entry, pending, verbose)
+                else:
+                    still_active.append(entry)
+            active = still_active
+            if active and (pending or True):
+                time.sleep(self.poll_s)
+        wall = time.perf_counter() - start
+        statuses = {
+            run_id: status
+            for run_id, status in self.registry.final_status().items()
+            if run_id in set(run_ids)
+        }
+        counts = {"ok": 0, "failed": 0, "timeout": 0}
+        for status in statuses.values():
+            counts[status] = counts.get(status, 0) + 1
+        return SweepOutcome(
+            total_runs=len(runs),
+            ok=counts["ok"],
+            failed=counts["failed"],
+            timeout=counts["timeout"],
+            attempts=attempts,
+            wall_seconds=wall,
+            registry_root=str(self.registry.root),
+            statuses=statuses,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _launch(
+        self, spec: RunSpec, attempt: int, grant: int, verbose: bool
+    ) -> _Active:
+        run_dir = self.registry.open_run(spec)
+        granted = spec.with_cores(grant)
+        proc = _MP.Process(
+            target=_child_main,
+            args=(granted, str(run_dir), self.telemetry),
+            daemon=False,
+        )
+        proc.start()
+        if verbose:
+            print(
+                f"[sweep] start {spec.run_id} (attempt {attempt}, "
+                f"{grant} core{'s' if grant != 1 else ''})",
+                flush=True,
+            )
+        return _Active(
+            proc=proc, spec=granted, attempt=attempt,
+            start=time.perf_counter(), grant=grant,
+        )
+
+    def _retry_or_not(
+        self,
+        entry: _Active,
+        pending: Deque[Tuple[RunSpec, int]],
+    ) -> None:
+        if entry.attempt < self.max_attempts:
+            pending.append((entry.spec, entry.attempt + 1))
+
+    def _finish(
+        self,
+        entry: _Active,
+        pending: Deque[Tuple[RunSpec, int]],
+        verbose: bool,
+    ) -> None:
+        entry.proc.join()
+        seconds = time.perf_counter() - entry.start
+        run_dir = self.registry.run_dir(entry.spec.run_id)
+        if entry.proc.exitcode == 0 and (run_dir / "result.json").exists():
+            from ..training.results import RunResult
+
+            result = RunResult.from_json(str(run_dir / "result.json"))
+            self.registry.record_result(entry.spec, result, attempt=entry.attempt)
+            if verbose:
+                print(
+                    f"[sweep] ok    {entry.spec.run_id} in {seconds:.1f}s",
+                    flush=True,
+                )
+            return
+        log_path = run_dir / "log.txt"
+        error = f"exit code {entry.proc.exitcode}"
+        if log_path.exists():
+            tail = log_path.read_text().strip().splitlines()[-3:]
+            error += ": " + " | ".join(tail) if tail else ""
+        self.registry.record_failure(
+            entry.spec, error, attempt=entry.attempt, seconds=seconds,
+        )
+        if verbose:
+            print(
+                f"[sweep] FAIL  {entry.spec.run_id} attempt {entry.attempt} "
+                f"({error.splitlines()[0][:120]})",
+                flush=True,
+            )
+        self._retry_or_not(entry, pending)
+
+    def _expire(
+        self,
+        entry: _Active,
+        pending: Deque[Tuple[RunSpec, int]],
+        verbose: bool,
+    ) -> None:
+        entry.proc.terminate()
+        entry.proc.join(timeout=5.0)
+        if entry.proc.exitcode is None:
+            entry.proc.kill()
+            entry.proc.join()
+        seconds = time.perf_counter() - entry.start
+        self.registry.record_failure(
+            entry.spec,
+            f"timed out after {self.timeout_s:.1f}s",
+            attempt=entry.attempt,
+            seconds=seconds,
+            status="timeout",
+        )
+        if verbose:
+            print(
+                f"[sweep] TIME  {entry.spec.run_id} attempt {entry.attempt} "
+                f"({seconds:.1f}s > {self.timeout_s:.1f}s budget)",
+                flush=True,
+            )
+        self._retry_or_not(entry, pending)

@@ -82,6 +82,10 @@ class TelemetryRecorder:
     def __init__(self, sink: Optional[Sink] = None) -> None:
         self.sink: Sink = sink if sink is not None else NullSink()
         self.enabled: bool = not isinstance(self.sink, NullSink)
+        #: Default config-field provenance stamped into manifests (set by
+        #: callers that resolved their config through
+        #: :func:`repro.configio.resolve_config`).
+        self.provenance: dict = {}
 
     # -- raw emission --------------------------------------------------------
 
@@ -97,12 +101,22 @@ class TelemetryRecorder:
         config: Optional[Mapping[str, Any]] = None,
         label: str = "",
         backend: Optional[Mapping[str, Any]] = None,
+        provenance: Optional[Mapping[str, str]] = None,
     ) -> Optional[RunManifest]:
-        """Capture and emit the run header; returns it (None if disabled)."""
+        """Capture and emit the run header; returns it (None if disabled).
+
+        ``provenance`` defaults to the recorder's own :attr:`provenance`
+        mapping, so CLI/API entry points can stamp the resolved config
+        chain once and have every manifest carry it.
+        """
         if not self.enabled:
             return None
         record = RunManifest.capture(
-            seed=seed, config=config, label=label, backend=backend
+            seed=seed,
+            config=config,
+            label=label,
+            backend=backend,
+            provenance=provenance if provenance is not None else self.provenance,
         )
         self.sink.emit(record)
         return record

@@ -97,6 +97,10 @@ class RunManifest:
     #: compiled/jitted flags, numba version, and any fallback reason.
     #: Defaults empty so pre-backend manifests round-trip unchanged.
     backend: Dict[str, Any] = field(default_factory=dict)
+    #: Config-field provenance from :func:`repro.configio.resolve_config`
+    #: (field name → ``"cli" | "env:REPRO_X" | "file:<path>" | "default"``).
+    #: Defaults empty so pre-provenance manifests round-trip unchanged.
+    provenance: Dict[str, str] = field(default_factory=dict)
     schema_version: int = TELEMETRY_SCHEMA_VERSION
 
     @classmethod
@@ -106,12 +110,14 @@ class RunManifest:
         config: Optional[Mapping[str, Any]] = None,
         label: str = "",
         backend: Optional[Mapping[str, Any]] = None,
+        provenance: Optional[Mapping[str, str]] = None,
     ) -> "RunManifest":
         """Snapshot the current commit, host, and configuration.
 
         ``config`` accepts a plain mapping or a dataclass (``MARLConfig``
         serializes via ``dataclasses.asdict``).  ``backend`` is the
-        compute-backend description dict (``ComputeBackend.describe()``).
+        compute-backend description dict (``ComputeBackend.describe()``);
+        ``provenance`` the resolved per-field source mapping.
         """
         if config is not None and dataclasses.is_dataclass(config):
             config = dataclasses.asdict(config)
@@ -123,6 +129,7 @@ class RunManifest:
             label=label,
             created_unix=time.time(),
             backend=dict(backend) if backend is not None else {},
+            provenance=dict(provenance) if provenance is not None else {},
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,258 @@
+"""Tests for the ``repro.api`` facade and the report rendering behind
+``repro report --history`` / ``--registry``."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.algos.config import MARLConfig
+from repro.bench import BENCH_SCHEMA_VERSION
+from repro.configio import resolve_config
+from repro.sweep import SweepSpec, sparkline
+from repro.telemetry.records import RunManifest, TELEMETRY_SCHEMA_VERSION
+from repro.telemetry.recorder import memory_recorder
+from repro.training.results import RunResult
+
+TINY = MARLConfig(
+    batch_size=16, buffer_capacity=128, update_every=10, max_episode_len=10
+)
+
+
+class TestTrain:
+    def test_episode_mode(self):
+        result = api.train(TINY, episodes=2, seed=1)
+        assert isinstance(result, RunResult)
+        assert result.episodes == 2
+        assert result.env_steps == 2 * TINY.max_episode_len
+        assert result.algorithm == "maddpg"
+
+    def test_steps_mode(self):
+        result = api.train(TINY, steps=4, copies=2, num_agents=2, seed=1)
+        assert result.env_steps == 4 * 2
+        assert "steps_per_second" in result.extra
+
+    def test_episodes_and_steps_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            api.train(TINY, episodes=2, steps=2)
+
+    def test_resolved_config_stamps_provenance_into_manifest(self):
+        resolved = resolve_config(
+            cli_overrides={
+                "batch_size": 16,
+                "buffer_capacity": 128,
+                "update_every": 10,
+                "max_episode_len": 10,
+            },
+            env={},
+        )
+        recorder = memory_recorder()
+        api.train(resolved, episodes=1, telemetry=recorder)
+        manifests = [
+            r for r in recorder.sink.records if isinstance(r, RunManifest)
+        ]
+        assert manifests
+        assert manifests[0].provenance["batch_size"] == "cli"
+        assert manifests[0].provenance["lr"] == "default"
+
+    def test_explicit_provenance_wins_over_resolved(self):
+        resolved = resolve_config(cli_overrides={"batch_size": 16}, env={})
+        resolved = resolve_config(
+            cli_overrides={
+                "batch_size": 16,
+                "buffer_capacity": 128,
+                "max_episode_len": 10,
+            },
+            env={},
+        )
+        recorder = memory_recorder()
+        api.train(
+            resolved, episodes=1, telemetry=recorder,
+            provenance={"batch_size": "env:REPRO_BATCH_SIZE"},
+        )
+        manifest = next(
+            r for r in recorder.sink.records if isinstance(r, RunManifest)
+        )
+        assert manifest.provenance == {"batch_size": "env:REPRO_BATCH_SIZE"}
+
+
+class TestExecuteRun:
+    def test_writes_result_and_telemetry(self, tmp_path):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "one",
+                "base": {
+                    "episodes": 1,
+                    "batch_size": 16,
+                    "buffer_capacity": 128,
+                    "max_episode_len": 10,
+                },
+            }
+        )
+        (run,) = spec.expand()
+        result = api.execute_run(run, run_dir=tmp_path)
+        assert (tmp_path / "result.json").exists()
+        assert (tmp_path / "telemetry.jsonl").exists()
+        restored = RunResult.from_json(str(tmp_path / "result.json"))
+        assert restored.env_steps == result.env_steps
+        # telemetry starts with the run manifest
+        first = json.loads(
+            (tmp_path / "telemetry.jsonl").read_text().splitlines()[0]
+        )
+        assert first["kind"] == "manifest"
+
+    def test_telemetry_off(self, tmp_path):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "one",
+                "base": {
+                    "episodes": 1,
+                    "batch_size": 16,
+                    "buffer_capacity": 128,
+                    "max_episode_len": 10,
+                },
+            }
+        )
+        (run,) = spec.expand()
+        api.execute_run(run, run_dir=tmp_path, telemetry=False)
+        assert not (tmp_path / "telemetry.jsonl").exists()
+
+
+def fake_report(path, sha, reward, sps, *, stamp, suite="smoke"):
+    """A synthetic bench-report generation.  Bench names unknown to the
+    registry are skipped by compare_reports, so gating renders 'pass'."""
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "telemetry_schema_version": TELEMETRY_SCHEMA_VERSION,
+        "suite": suite,
+        "git_sha": sha,
+        "platform": {"python": "x"},
+        "created_unix": stamp,
+        "results": [
+            {
+                "bench": "fake_bench",
+                "seconds": 1.0,
+                "ok": True,
+                "error": "",
+                "metrics": {"mean_episode_reward": reward, "steps_per_second": sps},
+            }
+        ],
+    }
+    path.write_text(json.dumps(report))
+    return report
+
+
+class TestReportHistory:
+    def test_trajectories_across_generations(self, tmp_path):
+        # written newest-first to prove ordering comes from created_unix
+        fake_report(tmp_path / "BENCH_b.json", "bbbbbbbbb", -3.0, 200.0, stamp=2e9)
+        fake_report(tmp_path / "BENCH_a.json", "aaaaaaaaa", -4.0, 100.0, stamp=1e9)
+        text = api.report_history(tmp_path)
+        assert "generations: 2" in text
+        assert "(aaaaaaaaa → bbbbbbbbb)" in text
+        assert "fake_bench.mean_episode_reward" in text
+        assert "+25.0%" in text  # -4.0 → -3.0
+        assert "gate vs previous generation: pass" in text
+
+    def test_metric_filter_and_single_generation(self, tmp_path):
+        fake_report(tmp_path / "BENCH_a.json", "aaaaaaaaa", -4.0, 100.0, stamp=1e9)
+        text = api.report_history(tmp_path, metrics=["steps_per_second"])
+        assert "steps_per_second" in text
+        assert "mean_episode_reward" not in text
+        assert "n/a (single generation)" in text
+
+    def test_suite_filter(self, tmp_path):
+        fake_report(tmp_path / "BENCH_a.json", "a" * 9, -4.0, 1.0, stamp=1.0)
+        fake_report(
+            tmp_path / "BENCH_other.json", "b" * 9, -4.0, 1.0,
+            stamp=2.0, suite="other",
+        )
+        text = api.report_history(tmp_path, suite="other")
+        assert "suite: other  generations: 1" in text
+
+    def test_empty_history(self, tmp_path):
+        assert "no bench report" in api.report_history(tmp_path)
+
+
+class TestSparkline:
+    def test_shape_and_gaps(self):
+        line = sparkline([1.0, None, 3.0])
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[1] == " "
+        assert line[2] == "█"
+
+    def test_flat_series_renders_mid_height(self):
+        assert sparkline([2.0, 2.0]) == "▅▅"
+
+    def test_all_none(self):
+        assert sparkline([None, None]) == "  "
+
+
+class TestCli:
+    def write_sweep_toml(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "cli-sweep"',
+                    "[base]",
+                    "episodes = 1",
+                    "batch_size = 16",
+                    "buffer_capacity = 128",
+                    "max_episode_len = 10",
+                    "[grid]",
+                    'algorithm = ["maddpg", "matd3"]',
+                ]
+            )
+        )
+        return path
+
+    def test_sweep_dry_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self.write_sweep_toml(tmp_path)
+        code = main(
+            ["sweep", str(spec), "--registry", str(tmp_path / "reg"), "--dry-run"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep 'cli-sweep': 2 runs" in out
+        assert "algorithm-maddpg" in out and "algorithm-matd3" in out
+
+    def test_report_registry_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.sweep import RunRegistry
+
+        spec = SweepSpec.from_file(self.write_sweep_toml(tmp_path))
+        registry = RunRegistry(tmp_path / "reg")
+        for run in spec.expand():
+            registry.open_run(run)
+            registry.record_failure(run, "not really run", attempt=1)
+        code = main(["report", "--registry", str(tmp_path / "reg")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 runs" in out and "2 failed" in out
+
+    def test_report_rejects_both_modes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["report", "--registry", str(tmp_path), "--history", str(tmp_path)]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_train_spec_file_round_trip(self, tmp_path, capsys):
+        """`repro train --spec file.toml` resolves config from the file."""
+        from repro.cli import main
+
+        spec = tmp_path / "train.toml"
+        spec.write_text(
+            "[config]\nbatch_size = 16\nbuffer_capacity = 128\n"
+            "update_every = 10\nmax_episode_len = 10\n"
+        )
+        code = main(["train", "--spec", str(spec), "--episodes", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "done:" in out

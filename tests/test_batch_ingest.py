@@ -35,6 +35,12 @@ def random_rows(rng, k, obs_dim=OBS, act_dim=ACT):
     )
 
 
+def legacy(method, *args, **kwargs):
+    """Call a deprecated alias, asserting it warns (aliases are graduating)."""
+    with pytest.warns(DeprecationWarning, match="is deprecated; use"):
+        return method(*args, **kwargs)
+
+
 def assert_buffers_equal(a: ReplayBuffer, b: ReplayBuffer):
     np.testing.assert_array_equal(a._obs, b._obs)
     np.testing.assert_array_equal(a._act, b._act)
@@ -60,7 +66,7 @@ class TestReplayAddBatch:
         obs, act, rew, next_obs, done = random_rows(rng, k)
         for t in range(k):
             seq.add(obs[t], act[t], rew[t], next_obs[t], bool(done[t]))
-        bat.add_batch(obs, act, rew, next_obs, done)
+        legacy(bat.add_batch, obs, act, rew, next_obs, done)
         assert_buffers_equal(seq, bat)
 
     def test_oversized_batch_keeps_trailing_rows(self):
@@ -72,23 +78,24 @@ class TestReplayAddBatch:
         obs, act, rew, next_obs, done = random_rows(rng, 20)
         for t in range(20):
             seq.add(obs[t], act[t], rew[t], next_obs[t], bool(done[t]))
-        bat.add_batch(obs, act, rew, next_obs, done)
+        legacy(bat.add_batch, obs, act, rew, next_obs, done)
         assert_buffers_equal(seq, bat)
 
     def test_returned_indices_match_slots(self):
         buf = ReplayBuffer(8, OBS, ACT)
         rng = np.random.default_rng(3)
         obs, act, rew, next_obs, done = random_rows(rng, 5)
-        idx = buf.add_batch(obs, act, rew, next_obs, done)
+        idx = legacy(buf.add_batch, obs, act, rew, next_obs, done)
         np.testing.assert_array_equal(idx, np.arange(5))
         np.testing.assert_array_equal(buf._obs[idx], obs)
-        idx2 = buf.add_batch(obs, act, rew, next_obs, done)
+        idx2 = legacy(buf.add_batch, obs, act, rew, next_obs, done)
         np.testing.assert_array_equal(idx2, [5, 6, 7, 0, 1])
 
     def test_empty_batch_rejected(self):
         buf = ReplayBuffer(8, OBS, ACT)
         with pytest.raises(ValueError):
-            buf.add_batch(
+            legacy(
+                buf.add_batch,
                 np.empty((0, OBS)), np.empty((0, ACT)), np.empty(0),
                 np.empty((0, OBS)), np.empty(0),
             )
@@ -98,7 +105,7 @@ class TestReplayAddBatch:
         rng = np.random.default_rng(4)
         obs, act, rew, next_obs, done = random_rows(rng, 4)
         with pytest.raises(ValueError):
-            buf.add_batch(obs, act, rew[:3], next_obs, done)
+            legacy(buf.add_batch, obs, act, rew[:3], next_obs, done)
 
 
 class TestPrioritizedAddBatch:
@@ -109,7 +116,7 @@ class TestPrioritizedAddBatch:
         obs, act, rew, next_obs, done = random_rows(rng, 10)
         for t in range(10):
             seq.add(obs[t], act[t], rew[t], next_obs[t], bool(done[t]))
-        bat.add_batch(obs, act, rew, next_obs, done)
+        legacy(bat.add_batch, obs, act, rew, next_obs, done)
         assert_buffers_equal(seq, bat)
         np.testing.assert_array_equal(seq._sum_tree._tree, bat._sum_tree._tree)
         np.testing.assert_array_equal(seq._min_tree._tree, bat._min_tree._tree)
@@ -123,11 +130,11 @@ class TestPrioritizedAddBatch:
         first = random_rows(rng, 4)
         more = random_rows(rng, 9)  # wraps past capacity
         for buf in (seq, bat):
-            buf.add_batch(*first)
+            legacy(buf.add_batch, *first)
             buf.update_priorities([0, 2], [3.5, 0.25])
         for t in range(9):
             seq.add(more[0][t], more[1][t], more[2][t], more[3][t], bool(more[4][t]))
-        bat.add_batch(*more)
+        legacy(bat.add_batch, *more)
         np.testing.assert_array_equal(seq._sum_tree._tree, bat._sum_tree._tree)
         np.testing.assert_array_equal(seq._min_tree._tree, bat._min_tree._tree)
 
@@ -154,7 +161,7 @@ class TestMultiAgentAddBatch:
                 [f[t] for f in fields[3]],
                 [bool(f[t]) for f in fields[4]],
             )
-        rows = bat.add_batch(*fields)
+        rows = legacy(bat.add_batch, *fields)
         assert rows == k
         for a in range(2):
             assert_buffers_equal(seq[a], bat[a])
@@ -162,7 +169,8 @@ class TestMultiAgentAddBatch:
     def test_wrong_agent_count_rejected(self):
         replay = MultiAgentReplay([4, 4], [3, 3], capacity=16)
         with pytest.raises(ValueError, match="per-agent"):
-            replay.add_batch(
+            legacy(
+                replay.add_batch,
                 [np.zeros((2, 4))], [np.zeros((2, 3))], [np.zeros(2)],
                 [np.zeros((2, 4))], [np.zeros(2)],
             )

@@ -254,6 +254,12 @@ class TestGatherRuns:
             buf.gather_runs([Run(len(buf), 4)])
 
 
+def legacy(method, *args, **kwargs):
+    """Call a deprecated alias, asserting it warns (aliases are graduating)."""
+    with pytest.warns(DeprecationWarning, match="is deprecated; use"):
+        return method(*args, **kwargs)
+
+
 class TestKVGatherRowsFast:
     def test_fancy_index_matches_loop(self, rng, small_replay):
         from repro.buffers import KVTransitionStore
@@ -262,7 +268,7 @@ class TestKVGatherRowsFast:
         store.ingest(small_replay.buffers)
         idx = rng.integers(0, len(small_replay), size=64)
         np.testing.assert_array_equal(
-            store.gather_rows(idx), store.gather_rows_loop(idx)
+            legacy(store.gather_rows, idx), legacy(store.gather_rows_loop, idx)
         )
 
     def test_loop_path_validation_preserved(self, small_replay):
@@ -272,9 +278,9 @@ class TestKVGatherRowsFast:
         store.ingest(small_replay.buffers)
         for gather in (store.gather_rows, store.gather_rows_loop):
             with pytest.raises(IndexError, match="out of range"):
-                gather([len(small_replay)])
+                legacy(gather, [len(small_replay)])
             with pytest.raises(ValueError, match="empty index list"):
-                gather([])
+                legacy(gather, [])
 
 
 # -- whole-sampler scalar/fast equivalence -------------------------------------------

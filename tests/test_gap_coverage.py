@@ -11,6 +11,12 @@ from repro.envs import SyncVectorEnv, make
 from tests.conftest import fill_multi_agent_replay
 
 
+def legacy(method, *args, **kwargs):
+    """Call a deprecated alias, asserting it warns (aliases are graduating)."""
+    with pytest.warns(DeprecationWarning, match="is deprecated; use"):
+        return method(*args, **kwargs)
+
+
 class TestRowwiseIngest:
     def make_replay(self, rng, rows=60):
         replay = MultiAgentReplay([6, 4], [3, 3], capacity=128)
@@ -25,7 +31,7 @@ class TestRowwiseIngest:
         rowwise.ingest_rowwise(replay.buffers)
         idx = list(range(len(replay)))
         np.testing.assert_array_equal(
-            block.gather_rows(idx), rowwise.gather_rows(idx)
+            legacy(block.gather_rows, idx), legacy(rowwise.gather_rows, idx)
         )
 
     def test_rowwise_counts_same_floats_as_block(self, rng):

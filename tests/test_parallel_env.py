@@ -54,6 +54,12 @@ def leaked_segments():
     return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
 
 
+def legacy(method, *args, **kwargs):
+    """Call a deprecated alias, asserting it warns (aliases are graduating)."""
+    with pytest.warns(DeprecationWarning, match="is deprecated; use"):
+        return method(*args, **kwargs)
+
+
 class TestTrajectoryEquivalence:
     @pytest.mark.parametrize("workers", [2, 3])
     def test_bit_identical_to_sync(self, workers):
@@ -114,9 +120,10 @@ class TestTrajectoryEquivalence:
             for _ in range(6):
                 par.step(soft_actions(par, rng))
                 rows = par.packed_transitions()
-                packed.add_packed_batch(rows)
+                legacy(packed.add_packed_batch, rows)
                 views = par.transition_views()
-                split.add_batch(
+                legacy(
+                    split.add_batch,
                     [v[0] for v in views],
                     [v[1] for v in views],
                     [v[2] for v in views],

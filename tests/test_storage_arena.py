@@ -112,6 +112,12 @@ class TestArenaViews:
         assert tm.buffers[0].next_index == tm.arena.next_index
 
 
+def legacy(method, *args, **kwargs):
+    """Call a deprecated alias, asserting it warns (aliases are graduating)."""
+    with pytest.warns(DeprecationWarning, match="is deprecated; use"):
+        return method(*args, **kwargs)
+
+
 class TestByteEquivalence:
     @settings(max_examples=25, deadline=None)
     @given(
@@ -179,17 +185,20 @@ class TestByteEquivalence:
         size = len(am)
         idx_rng = np.random.default_rng(seed + 2)
         idx = idx_rng.integers(0, size, size=6)
-        for fa, ft in zip(am.gather_all(idx), tm.gather_all(idx)):
+        for fa, ft in zip(legacy(am.gather_all, idx), legacy(tm.gather_all, idx)):
             for a, t in zip(fa, ft):
                 assert_bytes_equal(a, t)
         for fa, ft in zip(
-            am.gather_all(idx, vectorized=True), tm.gather_all(idx, vectorized=True)
+            legacy(am.gather_all, idx, vectorized=True),
+            legacy(tm.gather_all, idx, vectorized=True),
         ):
             for a, t in zip(fa, ft):
                 assert_bytes_equal(a, t)
         # runs, including one that wraps past the valid region
         runs = [Run(start=0, length=min(3, size)), Run(start=size - 1, length=2)]
-        for fa, ft in zip(am.gather_runs_all(runs), tm.gather_runs_all(runs)):
+        for fa, ft in zip(
+            legacy(am.gather_runs_all, runs), legacy(tm.gather_runs_all, runs)
+        ):
             for a, t in zip(fa, ft):
                 assert_bytes_equal(a, t)
 
@@ -203,8 +212,8 @@ class TestByteEquivalence:
         rew = [rng.standard_normal(k) for _ in am.buffers]
         nxt = [rng.standard_normal((k, b.obs_dim)) for b in am.buffers]
         done = [rng.integers(2, size=k).astype(np.float64) for _ in am.buffers]
-        am.add_batch(obs, act, rew, nxt, done)
-        tm.add_batch(obs, act, rew, nxt, done)
+        legacy(am.add_batch, obs, act, rew, nxt, done)
+        legacy(tm.add_batch, obs, act, rew, nxt, done)
         assert tm.arena.next_index == am.buffers[0].next_index
         for ba, bt in zip(am.buffers, tm.buffers):
             assert_bytes_equal(ba._obs, np.ascontiguousarray(bt._obs))

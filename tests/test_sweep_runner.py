@@ -1,0 +1,161 @@
+"""SweepRunner tests: the pure admission policy, crash isolation with
+bounded retry, and timeout expiry.  End-to-end runs use tiny 2-episode
+workloads so the whole file stays in tier-1 time budget."""
+
+import pytest
+
+from repro.sweep import (
+    ResourceHint,
+    RunRegistry,
+    SweepRunner,
+    SweepSpec,
+    plan_admission,
+)
+
+TINY_BASE = {
+    "episodes": 2,
+    "batch_size": 16,
+    "buffer_capacity": 128,
+    "update_every": 10,
+    "max_episode_len": 10,
+}
+
+
+def tiny_spec(**kwargs):
+    payload = {"name": "tiny", "base": dict(TINY_BASE)}
+    payload.update(kwargs)
+    return SweepSpec.from_dict(payload)
+
+
+class TestPlanAdmission:
+    def test_prefix_admission_at_floor(self):
+        hints = [ResourceHint(cores=2), ResourceHint(cores=2), ResourceHint(cores=2)]
+        assert plan_admission(hints, 5) == [2, 2]
+
+    def test_no_overtaking_past_a_wide_run(self):
+        """A 4-core run at the head blocks the queue even though the
+        1-core run behind it would fit — FIFO prevents starvation."""
+        hints = [ResourceHint(cores=4), ResourceHint(cores=1)]
+        assert plan_admission(hints, 3) == []
+
+    def test_rollout_runs_expand_when_queue_drains(self):
+        hints = [
+            ResourceHint(cores=1, max_cores=4, kind="rollout"),
+            ResourceHint(cores=1, kind="learner"),
+        ]
+        assert plan_admission(hints, 6) == [4, 1]
+
+    def test_learner_runs_never_expand(self):
+        hints = [ResourceHint(cores=1, max_cores=4, kind="learner")]
+        assert plan_admission(hints, 8) == [1]
+
+    def test_no_expansion_while_queue_is_backed_up(self):
+        """Spare cores are NOT handed to rollout runs if any pending run
+        was left unadmitted — the floor of the waiting run comes first."""
+        hints = [
+            ResourceHint(cores=1, max_cores=8, kind="rollout"),
+            ResourceHint(cores=4),
+        ]
+        assert plan_admission(hints, 3) == [1]
+
+    def test_expansion_respects_ceiling_and_budget(self):
+        hints = [
+            ResourceHint(cores=1, max_cores=2, kind="rollout"),
+            ResourceHint(cores=1, max_cores=8, kind="rollout"),
+        ]
+        # 5 cores: both floors (2), first expands +1 to its ceiling,
+        # second takes the remaining 2.
+        assert plan_admission(hints, 5) == [2, 3]
+
+    def test_zero_budget_admits_nothing(self):
+        assert plan_admission([ResourceHint()], 0) == []
+        assert plan_admission([], 4) == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_admission([], -1)
+
+
+class TestResourceHint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceHint(cores=0)
+        with pytest.raises(ValueError):
+            ResourceHint(cores=4, max_cores=2)
+        with pytest.raises(ValueError):
+            ResourceHint(kind="gpu")
+
+    def test_of_run_spec(self):
+        spec = tiny_spec(resources={"cores": 2, "max_cores": 3, "kind": "rollout"})
+        (run,) = spec.expand()
+        hint = ResourceHint.of(run)
+        assert (hint.cores, hint.max_cores, hint.kind) == (2, 3, "rollout")
+
+
+class TestRunnerValidation:
+    def test_knob_validation(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        with pytest.raises(ValueError):
+            SweepRunner(registry, max_workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(registry, total_cores=0)
+        with pytest.raises(ValueError):
+            SweepRunner(registry, max_attempts=0)
+
+    def test_duplicate_run_ids_rejected(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        (run,) = tiny_spec().expand()
+        runner = SweepRunner(registry)
+        with pytest.raises(ValueError, match="duplicate"):
+            runner.run([run, run])
+
+
+class TestEndToEnd:
+    def test_small_sweep_completes_and_registers(self, tmp_path):
+        spec = tiny_spec(grid={"algorithm": ["maddpg", "matd3"]})
+        registry = RunRegistry(tmp_path / "reg")
+        runner = SweepRunner(registry, max_workers=2, telemetry=False)
+        outcome = runner.run(spec.expand())
+        assert outcome.all_ok
+        assert outcome.total_runs == outcome.ok == 2
+        assert outcome.attempts == 2
+        assert set(outcome.statuses.values()) == {"ok"}
+        for record in registry.records:
+            result_path = registry.root / record.paths["result"]
+            assert result_path.exists()
+            assert record.metrics["env_steps"] > 0
+
+    def test_crash_is_isolated_and_retried(self, tmp_path):
+        spec = tiny_spec(
+            grid={"algorithm": ["maddpg"]},
+            cells=[{"env": "no_such_env"}],
+            max_attempts=2,
+        )
+        registry = RunRegistry(tmp_path / "reg")
+        runner = SweepRunner(registry, max_workers=2, max_attempts=2, telemetry=False)
+        outcome = runner.run(spec.expand())
+        assert not outcome.all_ok
+        assert outcome.ok == 1
+        assert outcome.failed == 1
+        # crashing cell attempted twice, good cell once
+        assert outcome.attempts == 3
+        failures = registry.by_status("failed")
+        assert len(failures) == 2
+        assert all("exit code 1" in r.error for r in failures)
+        # the child's traceback tail made it into the failure record
+        assert any("no_such_env" in r.error for r in failures)
+
+    def test_timeout_expires_hung_run(self, tmp_path):
+        # 500 long episodes cannot finish in 0.5s even on a fast host
+        spec = tiny_spec(
+            base={**TINY_BASE, "episodes": 500, "max_episode_len": 50},
+        )
+        registry = RunRegistry(tmp_path / "reg")
+        runner = SweepRunner(
+            registry, max_workers=1, timeout_s=0.5, telemetry=False
+        )
+        outcome = runner.run(spec.expand())
+        assert outcome.timeout == 1
+        assert outcome.ok == 0
+        (record,) = registry.by_status("timeout")
+        assert "timed out" in record.error

@@ -1,0 +1,174 @@
+"""Tests for the declarative sweep spec: grid expansion determinism,
+content-based seed derivation, alias mapping, and rejection of unknown
+fields."""
+
+import pytest
+
+from repro.sweep import RunSpec, SweepSpec, derive_run_seed
+
+
+def make_spec(**kwargs):
+    base = {
+        "name": "t",
+        "base": {"episodes": 2, "batch_size": 16, "buffer_capacity": 128},
+    }
+    base.update(kwargs)
+    return SweepSpec.from_dict(base)
+
+
+class TestExpansion:
+    def test_grid_is_cartesian_row_major_in_declaration_order(self):
+        spec = make_spec(
+            grid={"algorithm": ["maddpg", "matd3"], "num_agents": [2, 3]}
+        )
+        runs = spec.expand()
+        assert [(r.algorithm, r.num_agents) for r in runs] == [
+            ("maddpg", 2),
+            ("maddpg", 3),
+            ("matd3", 2),
+            ("matd3", 3),
+        ]
+
+    def test_expansion_is_deterministic(self):
+        spec = make_spec(grid={"algorithm": ["maddpg", "matd3"], "num_agents": [2, 3]})
+        first = spec.expand()
+        second = spec.expand()
+        assert [r.run_id for r in first] == [r.run_id for r in second]
+        assert [r.seed for r in first] == [r.seed for r in second]
+
+    def test_run_ids_are_unique_and_labeled(self):
+        spec = make_spec(grid={"algorithm": ["maddpg", "matd3"]}, repeats=2)
+        runs = spec.expand()
+        ids = [r.run_id for r in runs]
+        assert len(set(ids)) == len(ids) == 4
+        assert all("algorithm-" in rid for rid in ids)
+
+    def test_cells_append_after_grid(self):
+        spec = make_spec(
+            grid={"num_agents": [2]},
+            cells=[{"algorithm": "matd3", "num_agents": 5}],
+        )
+        runs = spec.expand()
+        assert len(runs) == 2
+        assert runs[-1].algorithm == "matd3"
+        assert runs[-1].num_agents == 5
+
+    def test_aliases_env_and_agents(self):
+        spec = make_spec(grid={"env": ["cooperative_navigation"], "agents": [4]})
+        (run,) = spec.expand()
+        assert run.env_name == "cooperative_navigation"
+        assert run.num_agents == 4
+
+    def test_config_fields_reach_marlconfig(self):
+        spec = make_spec(grid={"batch_size": [8, 32]})
+        runs = spec.expand()
+        assert [r.config.batch_size for r in runs] == [8, 32]
+        # base fields apply to every run
+        assert all(r.config.buffer_capacity == 128 for r in runs)
+
+    def test_resource_hints_propagate(self):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "r",
+                "base": {"episodes": 1},
+                "resources": {"cores": 2, "max_cores": 4, "kind": "rollout"},
+            }
+        )
+        (run,) = spec.expand()
+        assert (run.cores, run.max_cores, run.kind) == (2, 4, "rollout")
+
+
+class TestSeeds:
+    def test_seed_depends_on_content_not_position(self):
+        """Reordering grid axes must not change a cell's seed."""
+        a = make_spec(grid={"algorithm": ["maddpg", "matd3"], "num_agents": [2, 3]})
+        b = make_spec(grid={"num_agents": [2, 3], "algorithm": ["maddpg", "matd3"]})
+        seeds_a = {(r.algorithm, r.num_agents): r.seed for r in a.expand()}
+        seeds_b = {(r.algorithm, r.num_agents): r.seed for r in b.expand()}
+        assert seeds_a == seeds_b
+
+    def test_distinct_cells_get_distinct_seeds(self):
+        spec = make_spec(grid={"algorithm": ["maddpg", "matd3"], "num_agents": [2, 3]})
+        seeds = [r.seed for r in spec.expand()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_repeats_get_distinct_seeds(self):
+        spec = make_spec(repeats=3)
+        seeds = [r.seed for r in spec.expand()]
+        assert len(set(seeds)) == 3
+
+    def test_base_seed_shifts_all(self):
+        a = make_spec(seed=0).expand()[0].seed
+        b = make_spec(seed=1).expand()[0].seed
+        assert a != b
+
+    def test_derive_run_seed_is_pure(self):
+        s1 = derive_run_seed(7, {"algorithm": "maddpg"}, 0)
+        s2 = derive_run_seed(7, {"algorithm": "maddpg"}, 0)
+        assert s1 == s2
+        assert 0 <= s1 <= 0x7FFFFFFF
+        assert derive_run_seed(7, {"algorithm": "maddpg"}, 1) != s1
+
+
+class TestRejection:
+    def test_unknown_base_field(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SweepSpec.from_dict({"name": "x", "base": {"batch_sz": 8}})
+
+    def test_unknown_grid_field(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_spec(grid={"nope": [1]})
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            SweepSpec.from_dict({"name": "x", "base": {}, "gird": {}})
+
+    def test_invalid_config_value_fails_at_expand(self):
+        spec = make_spec(grid={"batch_size": [-1]})
+        with pytest.raises(ValueError):
+            spec.expand()
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict(self):
+        spec = make_spec(
+            grid={"algorithm": ["maddpg", "matd3"]},
+            cells=[{"num_agents": 5}],
+            repeats=2,
+            seed=3,
+            timeout_s=60.0,
+            max_attempts=2,
+        )
+        clone = SweepSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert [r.run_id for r in clone.expand()] == [r.run_id for r in spec.expand()]
+
+    def test_from_toml_file(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-sweep"',
+                    "seed = 5",
+                    "[base]",
+                    "episodes = 2",
+                    "batch_size = 16",
+                    "buffer_capacity = 128",
+                    "[grid]",
+                    'algorithm = ["maddpg", "matd3"]',
+                    "agents = [2, 3]",
+                ]
+            )
+        )
+        spec = SweepSpec.from_file(path)
+        runs = spec.expand()
+        assert spec.name == "toml-sweep"
+        assert len(runs) == 4
+        assert {r.num_agents for r in runs} == {2, 3}
+
+    def test_runspec_round_trip(self):
+        spec = make_spec(grid={"algorithm": ["matd3"]})
+        (run,) = spec.expand()
+        clone = RunSpec.from_dict(run.to_dict())
+        assert clone == run
+        assert clone.config == run.config
