@@ -257,12 +257,30 @@ def sweep(
     ``spec`` is a :class:`~repro.sweep.spec.SweepSpec` or a path to one.
     Timeout and retry policy come from the spec (``timeout_s``,
     ``max_attempts``); pool bounds from the arguments.
+
+    A registry root may accumulate *distinct* sweeps, but re-running a
+    sweep whose run_ids already exist there is refused: it would
+    overwrite the earlier attempt's artifacts and append duplicate
+    manifest lines, breaking the registry's rebuild-from-disk
+    invariant.  Use a fresh subdirectory per invocation instead.
     """
     from .sweep import RunRegistry, SweepRunner, SweepSpec
 
     if not isinstance(spec, SweepSpec):
         spec = load_sweep_spec(spec)
-    registry = RunRegistry(registry_root)
+    registry = RunRegistry.load(registry_root)
+    runs = spec.expand()
+    clashes = sorted(
+        registry.existing_run_ids().intersection(run.run_id for run in runs)
+    )
+    if clashes:
+        shown = ", ".join(clashes[:5]) + (" …" if len(clashes) > 5 else "")
+        raise ValueError(
+            f"registry {registry.root} already contains run(s) {shown}; "
+            f"re-running a sweep into the same registry root would "
+            f"overwrite their artifacts — point --registry at a fresh "
+            f"directory (e.g. a per-invocation subdirectory)"
+        )
     runner = SweepRunner(
         registry,
         max_workers=max_workers,
@@ -271,7 +289,7 @@ def sweep(
         max_attempts=spec.max_attempts,
         telemetry=telemetry,
     )
-    return runner.run(spec.expand(), verbose=verbose)
+    return runner.run(runs, verbose=verbose)
 
 
 # ---------------------------------------------------------------------------

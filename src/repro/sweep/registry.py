@@ -207,6 +207,20 @@ class RunRegistry:
     def by_status(self, status: str) -> List[RunRecord]:
         return [r for r in self._records if r.status == status]
 
+    def existing_run_ids(self) -> set:
+        """run_ids present in the manifest *or* as run dirs on disk.
+
+        Used to refuse a sweep whose cells would collide with an
+        earlier invocation recorded in the same root; directories are
+        included so a torn run (dir created, manifest line never
+        written) still counts as occupied.
+        """
+        ids = {record.run_id for record in self._records}
+        runs_dir = self.root / _RUNS
+        if runs_dir.exists():
+            ids.update(p.name for p in runs_dir.iterdir() if p.is_dir())
+        return ids
+
     def final_status(self) -> Dict[str, str]:
         """run_id → status of its *last* recorded attempt."""
         out: Dict[str, str] = {}

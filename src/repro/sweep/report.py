@@ -116,7 +116,7 @@ def _metric_series(
 
 
 def _fmt(value: Optional[float]) -> str:
-    if value is None:
+    if value is None or not math.isfinite(value):
         return "—"
     if value == int(value) and abs(value) < 1e6:
         return str(int(value))
@@ -155,7 +155,7 @@ def render_history(
     )
     lines.append(header)
     for key, values in series.items():
-        finite = [v for v in values if v is not None]
+        finite = [v for v in values if v is not None and math.isfinite(v)]
         first = finite[0] if finite else None
         last = finite[-1] if finite else None
         if first is not None and last is not None and first != 0:

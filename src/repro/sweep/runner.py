@@ -125,6 +125,8 @@ def _child_main(spec: RunSpec, run_dir: str, telemetry: bool) -> None:
 @dataclass
 class _Active:
     proc: object
+    #: the *requested* spec — retries requeue this, never the elastic
+    #: grant, so a flaky expanded run competes with its declared floor
     spec: RunSpec
     attempt: int
     start: float
@@ -185,12 +187,22 @@ class SweepRunner:
         run_ids = [spec.run_id for spec in runs]
         if len(set(run_ids)) != len(run_ids):
             raise ValueError("duplicate run_ids in sweep expansion")
+        for spec in runs:
+            if spec.cores > self.total_cores:
+                raise ValueError(
+                    f"run {spec.run_id!r} requests a cores floor of "
+                    f"{spec.cores} but the pool only has total_cores="
+                    f"{self.total_cores}; it could never be admitted "
+                    f"(lower the spec's [resources] cores or raise "
+                    f"total_cores)"
+                )
         pending: Deque[Tuple[RunSpec, int]] = deque((spec, 1) for spec in runs)
         active: List[_Active] = []
         attempts = 0
         start = time.perf_counter()
         while pending or active:
             # launch as many pending runs as the pool and budget allow
+            launched = 0
             free = self.total_cores - sum(a.grant for a in active)
             slots = self.max_workers - len(active)
             if pending and slots > 0 and free > 0:
@@ -202,6 +214,7 @@ class SweepRunner:
                     spec, attempt = pending.popleft()
                     active.append(self._launch(spec, attempt, grant, verbose))
                     attempts += 1
+                    launched += 1
             # reap finished / overdue children
             still_active: List[_Active] = []
             for entry in active:
@@ -214,8 +227,12 @@ class SweepRunner:
                     self._expire(entry, pending, verbose)
                 else:
                     still_active.append(entry)
+            reaped = len(active) - len(still_active)
             active = still_active
-            if active and (pending or True):
+            # sleep whenever this iteration made no progress — covers both
+            # waiting on running children and a backed-up queue, so the
+            # loop never degenerates into a busy spin
+            if (pending or active) and not launched and not reaped:
                 time.sleep(self.poll_s)
         wall = time.perf_counter() - start
         statuses = {
@@ -257,7 +274,7 @@ class SweepRunner:
                 flush=True,
             )
         return _Active(
-            proc=proc, spec=granted, attempt=attempt,
+            proc=proc, spec=spec, attempt=attempt,
             start=time.perf_counter(), grant=grant,
         )
 

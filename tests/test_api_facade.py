@@ -173,6 +173,71 @@ class TestReportHistory:
     def test_empty_history(self, tmp_path):
         assert "no bench report" in api.report_history(tmp_path)
 
+    def test_non_finite_metrics_render_as_gaps(self, tmp_path):
+        """A NaN/inf metric (e.g. a degenerate mean) must not abort the
+        whole render — it shows as a gap like sparkline() already does."""
+        fake_report(
+            tmp_path / "BENCH_a.json", "a" * 9,
+            float("nan"), float("inf"), stamp=1e9,
+        )
+        fake_report(tmp_path / "BENCH_b.json", "b" * 9, -3.0, 200.0, stamp=2e9)
+        text = api.report_history(tmp_path)
+        assert "generations: 2" in text
+        assert "fake_bench.mean_episode_reward" in text
+
+    def test_fmt_tolerates_non_finite(self):
+        from repro.sweep.report import _fmt
+
+        assert _fmt(None) == "—"
+        assert _fmt(float("nan")) == "—"
+        assert _fmt(float("inf")) == "—"
+        assert _fmt(float("-inf")) == "—"
+        assert _fmt(3.0) == "3"
+
+
+class TestSweepRegistryReuse:
+    BASE = {
+        "episodes": 1,
+        "batch_size": 16,
+        "buffer_capacity": 128,
+        "max_episode_len": 10,
+    }
+
+    def test_rerun_into_same_root_refused(self, tmp_path):
+        """Re-running a sweep whose run_ids already occupy the registry
+        would overwrite artifacts and desync the manifest from disk."""
+        from repro.sweep import RunRegistry
+
+        spec = SweepSpec.from_dict({"name": "tiny", "base": dict(self.BASE)})
+        registry = RunRegistry(tmp_path / "reg")
+        for run in spec.expand():
+            registry.open_run(run)  # simulates an earlier invocation
+        with pytest.raises(ValueError, match="already contains"):
+            api.sweep(spec, tmp_path / "reg")
+
+    def test_distinct_sweeps_may_share_a_root(self, tmp_path):
+        """Non-colliding sweeps accumulate in one registry, and the
+        rebuild-from-disk invariant survives the second invocation."""
+        from repro.sweep import RunRegistry
+
+        spec_a = SweepSpec.from_dict(
+            {"name": "a", "base": dict(self.BASE),
+             "grid": {"algorithm": ["maddpg"]}}
+        )
+        spec_b = SweepSpec.from_dict(
+            {"name": "b", "base": dict(self.BASE),
+             "grid": {"algorithm": ["matd3"]}}
+        )
+        out_a = api.sweep(spec_a, tmp_path / "reg", telemetry=False)
+        out_b = api.sweep(spec_b, tmp_path / "reg", telemetry=False)
+        assert out_a.all_ok and out_b.all_ok
+        registry = RunRegistry.load(tmp_path / "reg")
+        assert len(registry.records) == 2
+        rebuilt = RunRegistry.load(tmp_path / "reg", rebuild=True)
+        assert sorted(r.run_id for r in rebuilt.records) == sorted(
+            r.run_id for r in registry.records
+        )
+
 
 class TestSparkline:
     def test_shape_and_gaps(self):

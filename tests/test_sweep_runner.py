@@ -109,6 +109,16 @@ class TestRunnerValidation:
         with pytest.raises(ValueError, match="duplicate"):
             runner.run([run, run])
 
+    def test_oversized_core_floor_rejected(self, tmp_path):
+        """A cores floor above the pool could never be admitted; fail
+        fast by name instead of spinning forever on an undrainable FIFO
+        queue (which would also deadlock every run queued behind it)."""
+        registry = RunRegistry(tmp_path / "reg")
+        (run,) = tiny_spec(resources={"cores": 8}).expand()
+        runner = SweepRunner(registry, total_cores=2)
+        with pytest.raises(ValueError, match=run.run_id):
+            runner.run([run])
+
 
 class TestEndToEnd:
     def test_small_sweep_completes_and_registers(self, tmp_path):
@@ -144,6 +154,32 @@ class TestEndToEnd:
         assert all("exit code 1" in r.error for r in failures)
         # the child's traceback tail made it into the failure record
         assert any("no_such_env" in r.error for r in failures)
+
+    def test_retry_uses_requested_floor_not_elastic_grant(self, tmp_path):
+        """A crashing rollout run that was elastically expanded retries
+        with its declared cores floor — not the previous grant — and its
+        registry spec.json keeps the requested cores."""
+        import json
+
+        spec = tiny_spec(
+            cells=[{"env": "no_such_env"}],
+            max_attempts=2,
+            resources={"cores": 1, "max_cores": 4, "kind": "rollout"},
+        )
+        (run,) = spec.expand()
+        assert (run.cores, run.max_cores) == (1, 4)
+        registry = RunRegistry(tmp_path / "reg")
+        runner = SweepRunner(
+            registry, max_workers=2, total_cores=4,
+            max_attempts=2, telemetry=False,
+        )
+        outcome = runner.run([run])
+        assert outcome.failed == 1
+        assert outcome.attempts == 2
+        spec_json = json.loads(
+            (registry.run_dir(run.run_id) / "spec.json").read_text()
+        )
+        assert spec_json["cores"] == 1
 
     def test_timeout_expires_hung_run(self, tmp_path):
         # 500 long episodes cannot finish in 0.5s even on a fast host
